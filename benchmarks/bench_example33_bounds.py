@@ -1,0 +1,80 @@
+"""Example 3.3 / Figure 2: the decomposition and its size bounds.
+
+The paper computes, for the twig ``A(/B, /D, //C(/E), //F(/H), //G)`` and
+tables R1(B,D), R2(F,G,H) with every input of size n:
+
+* decomposition output R3(A,B), R4(A,D), R5(C,E), R6(F,H), R7(G);
+* twig-only bound n^5;
+* full-query bound n^{7/2}.
+
+This bench regenerates all three, exactly (rational LP), and compares the
+bounds against the actually measured result sizes over a range of n.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import report_table
+
+from repro.core.decomposition import decompose
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.core.xjoin import xjoin
+from repro.data.synthetic import example33_instance, figure2_twig
+
+
+def test_decomposition_table():
+    decomposition = decompose(figure2_twig())
+    rows = [[f"R{i + 3}", "(" + ", ".join(p.attributes) + ")"]
+            for i, p in enumerate(decomposition.paths)]
+    assert [p.attributes for p in decomposition.paths] == [
+        ("A", "B"), ("A", "D"), ("C", "E"), ("F", "H"), ("G",)]
+    report_table("Figure 2: twig decomposition (paper: R3..R7)",
+                 ["relation", "schema"], rows)
+
+
+def test_example33_symbolic_exponents_table():
+    instance = example33_instance(2)
+    twig_only = MultiModelQuery(
+        [], [TwigBinding(instance.twig, instance.document)], name="X")
+    twig_exp = twig_only.symbolic_exponent()
+    query_exp = instance.query.symbolic_exponent()
+    assert twig_exp == 5
+    assert query_exp == Fraction(7, 2)
+    report_table(
+        "Example 3.3: symbolic size bounds (all |R| = n)",
+        ["query", "paper exponent", "computed exponent"],
+        [["twig X", "5", str(twig_exp)],
+         ["full Q", "7/2", str(query_exp)]])
+
+
+def test_example33_bound_vs_measured_table():
+    rows = []
+    for n in (2, 3, 4, 5):
+        instance = example33_instance(n)
+        bound = instance.query.size_bound()
+        twig_only = MultiModelQuery(
+            [], [TwigBinding(instance.twig, instance.document)], name="X")
+        twig_bound = twig_only.size_bound()
+        result = len(xjoin(instance.query))
+        twig_result = len(xjoin(twig_only))
+        assert twig_result == n ** 5
+        assert twig_bound.bound_ceiling >= twig_result
+        assert bound.bound_ceiling >= result
+        rows.append([n, n ** 5, twig_result,
+                     f"{bound.bound:.1f}", result])
+    report_table(
+        "Example 3.3: bound vs measured (twig result is exactly n^5)",
+        ["n", "twig bound n^5", "twig result",
+         "query bound n^3.5", "query result"],
+        rows)
+
+
+def test_bench_symbolic_exponent(benchmark):
+    instance = example33_instance(4)
+    benchmark(instance.query.symbolic_exponent)
+
+
+def test_bench_instance_bound(benchmark):
+    instance = example33_instance(4)
+    benchmark(instance.query.size_bound)

@@ -1,0 +1,66 @@
+"""Example 3.4: the bounds of Q, Q1 and Q2 are n^2, n^2 and n^5.
+
+Q joins R1(A,B,C,D), R2(E,F,G,H) and the Figure 2 twig; Q1 is the
+relational part alone, Q2 the twig part alone. The baseline evaluates Q1
+and Q2 separately and may therefore produce n^5 intermediate records; the
+table regenerates the three exponents and the measured sub-query sizes.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.core.baseline import relational_subquery, twig_subquery
+from repro.core.hypergraph import Hypergraph
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.core.agm import symbolic_exponent
+from repro.data.synthetic import example34_instance
+
+
+def q1_hypergraph() -> Hypergraph:
+    graph = Hypergraph()
+    graph.add_edge("R1", ["A", "B", "C", "D"])
+    graph.add_edge("R2", ["E", "F", "G", "H"])
+    return graph
+
+
+def test_example34_exponents_table():
+    instance = example34_instance(2)
+    q_exp = instance.query.symbolic_exponent()
+    q1_exp = symbolic_exponent(q1_hypergraph())
+    twig_only = MultiModelQuery(
+        [], [TwigBinding(instance.twig, instance.document)], name="Q2")
+    q2_exp = twig_only.symbolic_exponent()
+    assert (q_exp, q1_exp, q2_exp) == (2, 2, 5)
+    report_table(
+        "Example 3.4: symbolic bounds of Q, Q1, Q2 (paper: n^2, n^2, n^5)",
+        ["query", "paper", "computed"],
+        [["Q (multi-model)", "n^2", f"n^{q_exp}"],
+         ["Q1 (relational only)", "n^2", f"n^{q1_exp}"],
+         ["Q2 (twig only)", "n^5", f"n^{q2_exp}"]])
+
+
+def test_example34_measured_subqueries_table():
+    rows = []
+    for n in (2, 3, 4):
+        instance = example34_instance(n)
+        q1 = relational_subquery(instance.query)
+        q2 = twig_subquery(instance.query)
+        assert len(q1) == n ** 2   # R1 x R2 share no attributes
+        assert len(q2) == n ** 5   # the twig's worst case
+        rows.append([n, len(q1), n ** 2, len(q2), n ** 5,
+                     len(instance.query.naive_join())])
+    report_table(
+        "Example 3.4: measured sub-query sizes",
+        ["n", "|Q1|", "n^2", "|Q2|", "n^5", "|Q| (final)"],
+        rows)
+
+
+def test_bench_q1(benchmark):
+    instance = example34_instance(6)
+    benchmark(lambda: relational_subquery(instance.query))
+
+
+def test_bench_q2_twigstack(benchmark):
+    instance = example34_instance(6)
+    benchmark(lambda: twig_subquery(instance.query))

@@ -1,0 +1,57 @@
+"""Figure 1: the motivating bookstore join, literal and scaled.
+
+The literal three-order example must return {(jack, 978-3-16-1, 30),
+(tom, 634-3-12-2, 20)}; the scaled generator grows the same shape to
+thousands of order lines for timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report_table
+
+from repro.core.baseline import baseline_join
+from repro.core.xjoin import xjoin
+from repro.data.scenarios import bookstore_instance, figure1_query
+
+
+def test_figure1_literal_table():
+    query = figure1_query()
+    result = xjoin(query).project(["userID", "ISBN", "price"])
+    expected = {("jack", "978-3-16-1", 30), ("tom", "634-3-12-2", 20)}
+    assert set(result) == expected
+    assert baseline_join(query) == xjoin(query)
+    report_table(
+        "Figure 1: query result Q(userID, ISBN, price)",
+        ["userID", "ISBN", "price"],
+        [list(row) for row in result.sorted_rows()])
+
+
+def test_bookstore_scaling_table():
+    rows = []
+    for orders in (100, 400, 1600):
+        query = bookstore_instance(orders, users=50, seed=7)
+        start = time.perf_counter()
+        xresult = xjoin(query)
+        xtime = time.perf_counter() - start
+        start = time.perf_counter()
+        bresult = baseline_join(query)
+        btime = time.perf_counter() - start
+        assert xresult == bresult
+        rows.append([orders, len(xresult),
+                     f"{xtime * 1e3:.1f}ms", f"{btime * 1e3:.1f}ms"])
+    report_table(
+        "Bookstore scenario scaling (matching joins, ~80% match rate)",
+        ["order lines", "result size", "xjoin", "baseline"],
+        rows)
+
+
+def test_bench_figure1_xjoin(benchmark):
+    query = bookstore_instance(500, users=50, seed=7)
+    benchmark(lambda: xjoin(query))
+
+
+def test_bench_figure1_baseline(benchmark):
+    query = bookstore_instance(500, users=50, seed=7)
+    benchmark(lambda: baseline_join(query))

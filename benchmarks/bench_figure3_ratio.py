@@ -1,0 +1,70 @@
+"""Figure 3 (right panel): baseline vs XJoin, "X times over XJoin result".
+
+The paper's headline chart shows two bars — running time and intermediate
+result size — for the baseline, normalised to XJoin, on synthetic data
+built from Example 3.4. The paper reports roughly 10-20x. We regenerate
+the same two series over a range of n; asymptotically the ratio is
+Θ(n^3) (n^5 baseline intermediates vs n^2 XJoin bound), so which decade it
+lands in depends on n — the shape to check is "baseline pays vastly more
+on both metrics, growing with n".
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report_table
+
+from repro.core.baseline import baseline_join
+from repro.core.xjoin import xjoin
+from repro.data.synthetic import example34_instance
+from repro.instrumentation import JoinStats
+
+
+def run_both(n: int):
+    instance = example34_instance(n)
+    xstats, bstats = JoinStats(), JoinStats()
+    t0 = time.perf_counter()
+    xresult = xjoin(instance.query, stats=xstats)
+    xtime = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bresult = baseline_join(instance.query, stats=bstats)
+    btime = time.perf_counter() - t0
+    assert xresult == bresult
+    return xtime, btime, xstats, bstats
+
+
+def test_figure3_ratio_table():
+    rows = []
+    for n in (2, 4, 6, 8, 10):
+        xtime, btime, xstats, bstats = run_both(n)
+        time_ratio = btime / max(xtime, 1e-9)
+        size_ratio = bstats.max_intermediate / max(xstats.max_intermediate, 1)
+        rows.append([
+            n,
+            f"{xtime * 1e3:.1f}ms", f"{btime * 1e3:.1f}ms",
+            f"{time_ratio:.1f}x",
+            xstats.max_intermediate, bstats.max_intermediate,
+            f"{size_ratio:.1f}x",
+        ])
+        # The paper's claim: baseline is strictly worse on both metrics,
+        # by a growing factor (>=10x on both once n is non-trivial).
+        if n >= 6:
+            assert time_ratio > 10
+            assert size_ratio > 10
+    report_table(
+        "Figure 3: baseline vs XJoin (times over XJoin result)",
+        ["n", "xjoin time", "baseline time", "time ratio",
+         "xjoin max-intermediate", "baseline max-intermediate",
+         "size ratio"],
+        rows)
+
+
+def test_bench_xjoin_n8(benchmark):
+    instance = example34_instance(8)
+    benchmark(lambda: xjoin(instance.query))
+
+
+def test_bench_baseline_n8(benchmark):
+    instance = example34_instance(8)
+    benchmark(lambda: baseline_join(instance.query))

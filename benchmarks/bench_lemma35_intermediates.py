@@ -1,0 +1,65 @@
+"""Lemma 3.5: XJoin's per-stage intermediates never exceed the LP bound.
+
+For the Example 3.4 family and a set of random multi-model instances, the
+table shows the AGM bound of the combined hypergraph next to the largest
+intermediate XJoin produced under each order policy — the lemma says the
+former dominates the latter at every stage.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.core.xjoin import xjoin
+from repro.data.random_instances import random_multimodel_instance
+from repro.data.synthetic import example34_instance
+from repro.instrumentation import JoinStats
+
+POLICIES = ("appearance", "domain", "connected")
+
+
+def test_lemma35_example34_table():
+    rows = []
+    for n in (2, 4, 6, 8):
+        instance = example34_instance(n)
+        bound = instance.query.size_bound().bound_ceiling
+        worst = 0
+        for policy in POLICIES:
+            stats = JoinStats()
+            xjoin(instance.query, policy, stats=stats)
+            assert stats.max_intermediate <= bound
+            worst = max(worst, stats.max_intermediate)
+        rows.append([n, bound, worst, "OK"])
+    report_table(
+        "Lemma 3.5 on Example 3.4: max intermediate <= LP bound (= n^2)",
+        ["n", "LP bound", "max intermediate over all orders", "lemma"],
+        rows)
+
+
+def test_lemma35_random_instances_table():
+    rows = []
+    violations = 0
+    for seed in range(40):
+        query = random_multimodel_instance(seed)
+        bound = query.size_bound().bound_ceiling
+        for policy in POLICIES:
+            stats = JoinStats()
+            xjoin(query, policy, stats=stats)
+            if stats.max_intermediate > bound:
+                violations += 1
+    rows.append([40 * len(POLICIES), violations])
+    assert violations == 0
+    report_table(
+        "Lemma 3.5 on random multi-model instances",
+        ["runs (instance x order)", "violations"],
+        rows)
+
+
+def test_bench_xjoin_with_stats(benchmark):
+    instance = example34_instance(6)
+
+    def run():
+        stats = JoinStats()
+        return xjoin(instance.query, stats=stats)
+
+    benchmark(run)

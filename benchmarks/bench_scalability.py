@@ -1,0 +1,44 @@
+"""Scalability: running time and intermediates of XJoin vs baseline as n
+grows on the Example 3.4 family (the asymptotic gap is n^5 vs n^2)."""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report_table
+
+from repro.core.baseline import baseline_join
+from repro.core.xjoin import xjoin
+from repro.data.synthetic import example34_instance
+from repro.instrumentation import JoinStats
+
+
+def test_scalability_table():
+    rows = []
+    previous_ratio = 0.0
+    for n in (2, 4, 6, 8, 10, 12):
+        instance = example34_instance(n)
+        xstats, bstats = JoinStats(), JoinStats()
+        start = time.perf_counter()
+        xjoin(instance.query, stats=xstats)
+        xtime = time.perf_counter() - start
+        start = time.perf_counter()
+        baseline_join(instance.query, stats=bstats)
+        btime = time.perf_counter() - start
+        ratio = bstats.max_intermediate / max(xstats.max_intermediate, 1)
+        rows.append([n, f"{xtime * 1e3:.1f}", f"{btime * 1e3:.1f}",
+                     xstats.max_intermediate, bstats.max_intermediate,
+                     f"{ratio:.0f}x"])
+        # The intermediate-size gap must grow monotonically with n.
+        assert ratio > previous_ratio
+        previous_ratio = ratio
+    report_table(
+        "Scalability on Example 3.4 (times in ms)",
+        ["n", "xjoin time", "baseline time",
+         "xjoin max-int", "baseline max-int", "gap"],
+        rows)
+
+
+def test_bench_xjoin_n12(benchmark):
+    query = example34_instance(12).query
+    benchmark(lambda: xjoin(query))

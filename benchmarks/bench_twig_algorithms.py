@@ -1,0 +1,107 @@
+"""Substrate check: the twig-matching algorithms the paper builds on.
+
+Compares TwigStack (holistic), TJFast (extended Dewey), the binary
+structural-join pipeline and naive navigation on documents where their
+relative strengths differ: A-D-heavy nesting (structural joins produce
+large edge lists), P-C chains, and the paper's worst-case document.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import report_table
+
+from repro.data.synthetic import figure2_twig, worst_case_document
+from repro.instrumentation import JoinStats
+from repro.xml.generator import chain_document, layered_document
+from repro.xml.navigation import match_relation
+from repro.xml.structural_join import structural_join_pipeline
+from repro.xml.tjfast import tjfast
+from repro.xml.twig_parser import parse_twig
+from repro.xml.twigstack import twig_stack
+
+ALGORITHMS = [
+    ("TwigStack", twig_stack),
+    ("TJFast", tjfast),
+    ("structural-join", structural_join_pipeline),
+    ("naive", match_relation),
+]
+
+
+def run_all(document, twig):
+    row = []
+    reference = None
+    for name, algorithm in ALGORITHMS:
+        start = time.perf_counter()
+        result = algorithm(document, twig)
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = result
+        else:
+            assert result == reference, f"{name} disagrees"
+        row.append(f"{elapsed * 1e3:.1f}ms")
+    return row, len(reference)
+
+
+def test_twig_algorithms_table():
+    workloads = [
+        ("deep A-D nesting", chain_document(300, tags=("a", "b")),
+         parse_twig("a(//b)")),
+        ("P-C chain", layered_document([("a", 2), ("b", 2), ("c", 2)]),
+         parse_twig("a(/b(/c))")),
+        ("branching twig", layered_document([("a", 3), ("b", 2), ("c", 2)]),
+         parse_twig("a(/b, //c)")),
+        ("paper worst case n=5", worst_case_document(5), figure2_twig()),
+    ]
+    rows = []
+    for label, document, twig in workloads:
+        timings, size = run_all(document, twig)
+        rows.append([label, size, *timings])
+    report_table(
+        "Twig matching algorithms (all must agree)",
+        ["workload", "|answer|",
+         *[name for name, _ in ALGORITHMS]],
+        rows)
+
+
+def test_structural_join_intermediate_blowup_table():
+    """The pre-holistic weakness: edge lists far exceed the answer."""
+    rows = []
+    for depth in (50, 100, 200):
+        document = chain_document(depth, tags=("a", "b"))
+        twig = parse_twig("a(//b(//c))")
+        # No c nodes: the answer is empty but the a//b edge list is Θ(n^2).
+        stats = JoinStats()
+        result = structural_join_pipeline(document, twig, stats=stats)
+        assert len(result) == 0
+        holistic_stats = JoinStats()
+        twig_stack(document, twig, stats=holistic_stats)
+        rows.append([depth, len(result), stats.max_intermediate,
+                     holistic_stats.max_intermediate])
+        assert stats.max_intermediate > holistic_stats.max_intermediate
+    report_table(
+        "Empty-answer twig: structural-join pipeline vs TwigStack "
+        "intermediates",
+        ["chain depth", "|answer|", "pipeline max-intermediate",
+         "TwigStack max-intermediate"],
+        rows)
+
+
+def test_bench_twigstack(benchmark):
+    document = worst_case_document(4)
+    twig = figure2_twig()
+    benchmark(lambda: twig_stack(document, twig))
+
+
+def test_bench_tjfast(benchmark):
+    document = worst_case_document(4)
+    twig = figure2_twig()
+    benchmark(lambda: tjfast(document, twig))
+
+
+def test_bench_structural_pipeline(benchmark):
+    document = worst_case_document(4)
+    twig = figure2_twig()
+    benchmark(lambda: structural_join_pipeline(document, twig))

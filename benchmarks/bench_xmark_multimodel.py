@@ -1,0 +1,78 @@
+"""Realistic workload: multi-model analytics over an XMark-style site.
+
+Not a paper experiment — a coverage workload showing the framework on
+friendly (non-adversarial) data: auctions and items in XML, category
+labels and account standing in relational tables. On such data the
+baseline is competitive (its sub-queries are already selective); the
+interesting check is that both evaluators agree and stay within the
+bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report_table
+
+from repro.core.baseline import baseline_join
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.core.xjoin import xjoin
+from repro.instrumentation import JoinStats
+from repro.relational.relation import Relation
+from repro.xml.twig_parser import parse_twig
+from repro.xml.xmark import XMarkScale, xmark_document
+
+
+def build_query(factor: float, seed: int = 17) -> MultiModelQuery:
+    document = xmark_document(factor, seed=seed)
+    scale = XMarkScale.from_factor(factor)
+    categories = Relation(
+        "categories", ("incategory", "label"),
+        [(c, "electronics" if c % 3 == 0 else f"cat-{c}")
+         for c in range(scale.categories)])
+    accounts = Relation(
+        "accounts", ("personref", "standing"),
+        [(p, "premium" if p % 4 == 0 else "basic")
+         for p in range(scale.people)])
+    return MultiModelQuery(
+        [categories, accounts],
+        [TwigBinding(parse_twig(
+            "open_auction(/itemref, /current, //personref)",
+            name="auctions"), document),
+         TwigBinding(parse_twig("item(/name, /incategory)", name="items"),
+                     document)],
+        name="analytics")
+
+
+def test_xmark_multimodel_table():
+    rows = []
+    for factor in (0.1, 0.2, 0.4):
+        query = build_query(factor)
+        bound = query.size_bound().bound_ceiling
+        xstats, bstats = JoinStats(), JoinStats()
+        start = time.perf_counter()
+        xresult = xjoin(query, "connected", stats=xstats)
+        xtime = time.perf_counter() - start
+        start = time.perf_counter()
+        bresult = baseline_join(query, stats=bstats)
+        btime = time.perf_counter() - start
+        assert xresult == bresult
+        assert xstats.max_intermediate <= bound
+        rows.append([factor, len(xresult), bound,
+                     xstats.max_intermediate, bstats.max_intermediate,
+                     f"{xtime * 1e3:.1f}ms", f"{btime * 1e3:.1f}ms"])
+    report_table(
+        "XMark multi-model analytics (friendly data: baseline competitive)",
+        ["scale", "result", "bound", "xjoin max-int", "baseline max-int",
+         "xjoin", "baseline"],
+        rows)
+
+
+def test_bench_xmark_xjoin(benchmark):
+    query = build_query(0.2)
+    benchmark(lambda: xjoin(query, "connected"))
+
+
+def test_bench_xmark_baseline(benchmark):
+    query = build_query(0.2)
+    benchmark(lambda: baseline_join(query))

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment prints a paper-style table through :func:`report_table`,
+which also appends it to ``benchmarks/results/experiments.txt`` so the
+numbers quoted in EXPERIMENTS.md can be regenerated with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report_table(title: str, headers: list[str],
+                 rows: list[list[object]]) -> str:
+    """Format, print and persist one experiment table."""
+    widths = [max(len(str(h)), *(len(str(row[i])) for row in rows))
+              if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "experiments.txt", "a", encoding="utf-8") as f:
+        f.write(text + "\n\n")
+    return text

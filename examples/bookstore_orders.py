@@ -1,0 +1,55 @@
+"""The paper's Figure 1 scenario, literal and at scale.
+
+Joins the bookstore orders relation with the XML invoice database, then
+scales the same workload to thousands of order lines and compares XJoin
+with the traditional baseline (relational join and twig match evaluated
+separately, then combined).
+
+Run with:  python examples/bookstore_orders.py
+"""
+
+import time
+
+from repro import JoinStats, baseline_join, xjoin
+from repro.data.scenarios import bookstore_instance, figure1_query
+
+
+def literal_figure1():
+    print("-- Figure 1 (literal) --")
+    query = figure1_query()
+    result = xjoin(query).project(["userID", "ISBN", "price"])
+    for row in result.sorted_rows():
+        print("  ", row)
+    print("   (bob's order 35768 has no invoice, so it is dropped)\n")
+
+
+def scaled():
+    print("-- scaled bookstore --")
+    header = f"{'orders':>8} {'result':>8} {'xjoin':>10} {'baseline':>10}"
+    print(header)
+    for orders in (200, 800, 3200):
+        query = bookstore_instance(orders, users=100, seed=42)
+        start = time.perf_counter()
+        xresult = xjoin(query)
+        xtime = time.perf_counter() - start
+        start = time.perf_counter()
+        bresult = baseline_join(query)
+        btime = time.perf_counter() - start
+        assert xresult == bresult
+        print(f"{orders:>8} {len(xresult):>8} "
+              f"{xtime * 1e3:>8.1f}ms {btime * 1e3:>8.1f}ms")
+
+
+def intermediates():
+    print("\n-- intermediate sizes (orders=800) --")
+    query = bookstore_instance(800, users=100, seed=42)
+    for label, evaluate in (("xjoin", xjoin), ("baseline", baseline_join)):
+        stats = JoinStats()
+        evaluate(query, stats=stats)
+        print(f"  {label:>8}: max intermediate = {stats.max_intermediate}")
+
+
+if __name__ == "__main__":
+    literal_figure1()
+    scaled()
+    intermediates()

@@ -1,0 +1,69 @@
+"""The relational WCOJ substrate on its own: triangles, tries, leapfrog.
+
+The paper stands on AGM bounds and worst-case optimal relational joins
+(Ngo et al., Veldhuizen's Leapfrog Triejoin). This example exercises that
+substrate directly: the classic skewed triangle where every binary join
+plan materialises a quadratic intermediate but WCOJ stays linear.
+
+Run with:  python examples/relational_triangles.py
+"""
+
+import time
+
+from repro import JoinStats, Relation, generic_join, leapfrog_triejoin
+from repro.core.agm import agm_bound
+from repro.core.hypergraph import Hypergraph
+from repro.data.synthetic import agm_tight_triangle
+from repro.relational.plans import execute_plan, left_deep_plan
+
+
+def triangle_bound(n: int) -> float:
+    graph = Hypergraph()
+    for name, attrs in (("R", "ab"), ("S", "bc"), ("T", "ac")):
+        graph.add_edge(name, list(attrs), cardinality=2 * n - 1)
+    return agm_bound(graph).bound
+
+
+def main():
+    n = 120
+    relations = agm_tight_triangle(n)
+    named = {r.name: r for r in relations}
+    print(f"triangle instance: |R| = |S| = |T| = {2 * n - 1}")
+    print(f"AGM bound: {triangle_bound(n):.0f} tuples "
+          "(= |R|^(3/2) with the half-half-half cover)\n")
+
+    # Binary plan: (R ⋈ S) ⋈ T.
+    stats = JoinStats()
+    start = time.perf_counter()
+    binary = execute_plan(left_deep_plan(["R", "S", "T"]), named,
+                          stats=stats)
+    elapsed = time.perf_counter() - start
+    print(f"binary plan:   {len(binary):>6} results, "
+          f"max intermediate {stats.max_intermediate:>6}, "
+          f"{elapsed * 1e3:7.1f}ms")
+
+    # Leapfrog Triejoin.
+    stats = JoinStats()
+    start = time.perf_counter()
+    lftj = leapfrog_triejoin(relations, ("a", "b", "c"), stats=stats)
+    elapsed = time.perf_counter() - start
+    print(f"LFTJ:          {len(lftj):>6} results, "
+          f"max intermediate {stats.max_intermediate:>6}, "
+          f"{elapsed * 1e3:7.1f}ms")
+
+    # Generic join.
+    stats = JoinStats()
+    start = time.perf_counter()
+    gj = generic_join(relations, ("a", "b", "c"), stats=stats)
+    elapsed = time.perf_counter() - start
+    print(f"generic join:  {len(gj):>6} results, "
+          f"max intermediate {stats.max_intermediate:>6}, "
+          f"{elapsed * 1e3:7.1f}ms")
+
+    assert set(binary.project(("a", "b", "c"))) == set(lftj) == set(gj)
+    print("\nall three agree; only the binary plan paid the quadratic "
+          "intermediate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Querying XML with the XPath subset and the twig algorithms.
+
+Shows the XPath front-end compiling to twigs, and the four twig matchers
+(naive, structural-join pipeline, TwigStack, TJFast) agreeing on a small
+product catalogue.
+
+Run with:  python examples/xpath_queries.py
+"""
+
+from repro import parse_document, parse_xpath
+from repro.xml.navigation import match_relation
+from repro.xml.structural_join import structural_join_pipeline
+from repro.xml.tjfast import tjfast
+from repro.xml.twig import pattern_string
+from repro.xml.twigstack import twig_stack
+
+CATALOGUE = """
+<catalogue>
+  <category>
+    <name>databases</name>
+    <book><title>WCOJ in practice</title><price>45</price>
+      <author><name>ngo</name></author></book>
+    <book><title>Twig joins</title><price>30</price>
+      <author><name>bruno</name></author></book>
+  </category>
+  <category>
+    <name>systems</name>
+    <book><title>Schedulers</title><price>50</price>
+      <author><name>ousterhout</name></author></book>
+  </category>
+</catalogue>
+"""
+
+QUERIES = [
+    "//book/title",
+    "//category[name]//book[price]/title",
+    "//book[.//name]/price",
+]
+
+
+def main():
+    document = parse_document(CATALOGUE)
+    for xpath in QUERIES:
+        compiled = parse_xpath(xpath)
+        twig = compiled.twig
+        print(f"XPath:  {xpath}")
+        print(f"twig:   {pattern_string(twig.root)}")
+        answers = {
+            "naive": match_relation(document, twig),
+            "pipeline": structural_join_pipeline(document, twig),
+            "twigstack": twig_stack(document, twig),
+            "tjfast": tjfast(document, twig),
+        }
+        reference = answers["naive"]
+        assert all(result == reference for result in answers.values())
+        leaf = twig.attributes[-1]
+        values = sorted({row[reference.schema.index(leaf)]
+                         for row in reference},
+                        key=lambda v: str(v))
+        print(f"values of the last step ({twig.node(leaf).tag}): {values}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Command-line demo runner: ``python -m repro <command>``.
+
+Commands:
+
+* ``figure1``  — the paper's motivating join (default)
+* ``bounds``   — Figure 2 decomposition + Example 3.3 exact bounds
+* ``figure3 [n]`` — baseline vs XJoin on the adversarial instance
+* ``selftest`` — a quick cross-algorithm consistency check
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.baseline import baseline_join
+from repro.core.decomposition import decompose
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.core.xjoin import xjoin
+from repro.data.scenarios import figure1_query
+from repro.data.synthetic import example33_instance, example34_instance, figure2_twig
+from repro.instrumentation import JoinStats
+
+
+def cmd_figure1() -> int:
+    query = figure1_query()
+    result = xjoin(query).project(["userID", "ISBN", "price"])
+    print("Q(userID, ISBN, price):")
+    for row in result.sorted_rows():
+        print("  ", row)
+    return 0
+
+
+def cmd_bounds() -> int:
+    twig = figure2_twig()
+    print("decomposition of the Figure 2 twig:")
+    for index, path in enumerate(decompose(twig).paths):
+        print(f"  R{index + 3}({', '.join(path.attributes)})")
+    instance = example33_instance(2)
+    twig_only = MultiModelQuery(
+        [], [TwigBinding(instance.twig, instance.document)], name="X")
+    print(f"twig bound:  n^{twig_only.symbolic_exponent()}")
+    print(f"query bound: n^{instance.query.symbolic_exponent()}")
+    return 0
+
+
+def cmd_figure3(n: int = 6) -> int:
+    instance = example34_instance(n)
+    xstats, bstats = JoinStats(), JoinStats()
+    start = time.perf_counter()
+    xresult = xjoin(instance.query, stats=xstats)
+    xtime = time.perf_counter() - start
+    start = time.perf_counter()
+    bresult = baseline_join(instance.query, stats=bstats)
+    btime = time.perf_counter() - start
+    assert xresult == bresult
+    print(f"n={n}: |Q|={len(xresult)}")
+    print(f"xjoin:    {xtime * 1e3:8.1f}ms, "
+          f"max intermediate {xstats.max_intermediate}")
+    print(f"baseline: {btime * 1e3:8.1f}ms, "
+          f"max intermediate {bstats.max_intermediate}")
+    print(f"ratios:   time {btime / max(xtime, 1e-9):.1f}x, "
+          f"size {bstats.max_intermediate / max(xstats.max_intermediate, 1):.1f}x")
+    return 0
+
+
+def cmd_selftest() -> int:
+    from repro.data.random_instances import random_multimodel_instance
+
+    failures = 0
+    for seed in range(20):
+        query = random_multimodel_instance(seed)
+        naive = query.naive_join()
+        if xjoin(query) != naive or baseline_join(query) != naive:
+            print(f"MISMATCH at seed {seed}")
+            failures += 1
+    print("selftest:", "FAILED" if failures else "ok",
+          f"({20 - failures}/20 instances consistent)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    command = args[0] if args else "figure1"
+    if command == "figure1":
+        return cmd_figure1()
+    if command == "bounds":
+        return cmd_bounds()
+    if command == "figure3":
+        n = int(args[1]) if len(args) > 1 else 6
+        return cmd_figure3(n)
+    if command == "selftest":
+        return cmd_selftest()
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""The AGM bound: fractional edge covers and their dual (Equation 1).
+
+Three views of the same linear program, all exact:
+
+* :func:`fractional_edge_cover` — the primal: minimum total weight
+  assignment to edges covering every attribute. With uniform weights the
+  optimum is the *symbolic exponent*: when every relation has size n, the
+  worst-case join size is n^ρ* (Example 3.3: ρ* = 5 for the twig, 7/2
+  for the full query).
+* :func:`vertex_packing` — the paper's Equation 1: maximise Σ y_a subject
+  to Σ_{a∈R} y_a ≤ 1 per relation. By LP duality its optimum equals the
+  uniform edge cover's (Lemmas 3.1/3.2 rest on this).
+* :func:`agm_bound` — the instance bound ∏ |R|^{w_R} for an optimal cover
+  weighted by log |R|, i.e. the actual AGM number for given cardinalities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.lp import minimise_lp, solve_lp
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class EdgeCover:
+    """An optimal fractional edge cover."""
+
+    weights: dict[str, Fraction]
+    total: Fraction
+
+    def support(self) -> dict[str, Fraction]:
+        """Only the edges with nonzero weight."""
+        return {name: w for name, w in self.weights.items() if w}
+
+
+@dataclass(frozen=True)
+class VertexPacking:
+    """An optimal fractional vertex packing (the dual certificate)."""
+
+    weights: dict[str, Fraction]
+    total: Fraction
+
+
+def fractional_edge_cover(hypergraph: Hypergraph,
+                          costs: Mapping[str, float] | None = None
+                          ) -> EdgeCover:
+    """Minimise Σ cost_e · w_e s.t. every vertex is covered, w >= 0.
+
+    ``costs`` defaults to 1 per edge (the symbolic exponent); pass
+    ``log2 |R_e|`` per edge to get the exponent of the instance bound.
+    """
+    hypergraph.require_covered()
+    edges = hypergraph.edges
+    vertices = hypergraph.vertices
+    c = [Fraction(1) if costs is None
+         else Fraction(costs[edge.name]).limit_denominator(10 ** 12)
+         for edge in edges]
+    if any(value < 0 for value in c):
+        raise QueryError("edge-cover costs must be non-negative")
+    a_lb = [[Fraction(1) if vertex in edge.vertices else Fraction(0)
+             for edge in edges] for vertex in vertices]
+    b_lb = [Fraction(1)] * len(vertices)
+    solution = minimise_lp(c, a_lb, b_lb)
+    weights = {edge.name: value for edge, value in zip(edges, solution.x)}
+    return EdgeCover(weights=weights, total=solution.objective)
+
+
+def vertex_packing(hypergraph: Hypergraph) -> VertexPacking:
+    """The paper's Equation 1: max Σ y_a s.t. Σ_{a∈e} y_a <= 1 per edge."""
+    hypergraph.require_covered()
+    edges = hypergraph.edges
+    vertices = hypergraph.vertices
+    c = [Fraction(1)] * len(vertices)
+    a_ub = [[Fraction(1) if vertex in edge.vertices else Fraction(0)
+             for vertex in vertices] for edge in edges]
+    b_ub = [Fraction(1)] * len(edges)
+    solution = solve_lp(c, a_ub, b_ub)
+    weights = {vertex: value for vertex, value in zip(vertices, solution.x)}
+    return VertexPacking(weights=weights, total=solution.objective)
+
+
+def symbolic_exponent(hypergraph: Hypergraph) -> Fraction:
+    """The exponent ρ*: worst-case join size is n^ρ* when all |R| = n."""
+    return fractional_edge_cover(hypergraph).total
+
+
+@dataclass(frozen=True)
+class AGMBound:
+    """The instance AGM bound with its optimal cover certificate."""
+
+    cover: EdgeCover
+    log2_bound: float
+
+    @property
+    def bound(self) -> float:
+        """The bound as a float: ∏ |R|^{w_R}."""
+        return 2.0 ** self.log2_bound
+
+    @property
+    def bound_ceiling(self) -> int:
+        """Smallest integer >= the bound (what result counts compare to).
+
+        A tiny epsilon absorbs float error in ``2**log2_bound`` so that
+        e.g. an exact bound of 100 does not become ceil(100.0000000003).
+        """
+        return math.ceil(self.bound - 1e-9)
+
+
+def agm_bound(hypergraph: Hypergraph,
+              cardinalities: Mapping[str, int] | None = None) -> AGMBound:
+    """The AGM bound ∏ |R_e|^{w_e} for the given instance cardinalities.
+
+    Cardinalities default to those stored on the hypergraph's edges. An
+    empty relation makes the bound 0 (its log cost is -inf; we special
+    case it because the whole join is then empty).
+    """
+    sizes = dict(cardinalities) if cardinalities is not None \
+        else hypergraph.cardinalities()
+    for edge in hypergraph.edges:
+        if edge.name not in sizes:
+            raise QueryError(f"no cardinality for edge {edge.name!r}")
+        if sizes[edge.name] < 0:
+            raise QueryError(f"negative cardinality for {edge.name!r}")
+    if any(sizes[edge.name] == 0 for edge in hypergraph.edges):
+        zero_cover = EdgeCover(
+            weights={e.name: Fraction(0) for e in hypergraph.edges},
+            total=Fraction(0))
+        return AGMBound(cover=zero_cover, log2_bound=float("-inf"))
+    costs = {edge.name: math.log2(sizes[edge.name])
+             for edge in hypergraph.edges}
+    cover = fractional_edge_cover(hypergraph, costs)
+    log2_bound = float(sum(Fraction(costs[name]) * weight
+                           for name, weight in cover.weights.items()))
+    return AGMBound(cover=cover, log2_bound=log2_bound)
+
+
+def verify_cover(hypergraph: Hypergraph,
+                 weights: Mapping[str, Fraction]) -> bool:
+    """Is *weights* a feasible fractional edge cover?"""
+    for vertex in hypergraph.vertices:
+        covered = sum(weights.get(edge.name, Fraction(0))
+                      for edge in hypergraph.edges_covering(vertex))
+        if covered < 1:
+            return False
+    return all(weight >= 0 for weight in weights.values())
+
+
+def verify_packing(hypergraph: Hypergraph,
+                   weights: Mapping[str, Fraction]) -> bool:
+    """Is *weights* a feasible fractional vertex packing (Equation 1)?"""
+    for edge in hypergraph.edges:
+        packed = sum(weights.get(vertex, Fraction(0))
+                     for vertex in edge.vertices)
+        if packed > 1:
+            return False
+    return all(weight >= 0 for weight in weights.values())

@@ -1,0 +1,85 @@
+"""The baseline multi-model join (Example 3.4, left side of Figure 3).
+
+The traditional way to answer a cross-model query: evaluate the relational
+sub-query Q1 and the twig sub-query Q2 *independently*, each with its own
+engine, then join the two result sets. Each sub-query is evaluated
+optimally for its own model — binary join plans for Q1, TwigStack for Q2 —
+but the combination is not worst-case optimal for the whole query: Q2 can
+be as large as its own bound (n^5 in the running example) even when the
+combined query's bound is much smaller (n^2).
+
+All intermediate results (every binary-join output, every twig path
+solution and embedding, and the final combination steps) are recorded in
+the shared :class:`~repro.instrumentation.JoinStats`, which is what the
+Figure 3 benchmark compares against XJoin.
+"""
+
+from __future__ import annotations
+
+from repro.core.multimodel import MultiModelQuery
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.joins import hash_join
+from repro.relational.plans import (
+    dp_plan,
+    execute_plan,
+    greedy_plan,
+    left_deep_plan,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.xml.twigstack import twig_stack
+
+
+def relational_subquery(query: MultiModelQuery, *,
+                        plan: str = "greedy",
+                        stats: JoinStats | None = None) -> Relation:
+    """Q1: join of the relational tables only (binary join plans)."""
+    stats = ensure_stats(stats)
+    if not query.relations:
+        return Relation("Q1", Schema(()), [()])
+    relations = {r.name: r for r in query.relations}
+    if plan == "greedy":
+        tree = greedy_plan(relations)
+    elif plan == "left_deep":
+        tree = left_deep_plan(list(relations))
+    elif plan == "dp":
+        tree = dp_plan(relations)
+    else:
+        raise ValueError(f"unknown plan policy {plan!r}")
+    return execute_plan(tree, relations, stats=stats).with_name("Q1")
+
+
+def twig_subquery(query: MultiModelQuery, *,
+                  stats: JoinStats | None = None) -> Relation:
+    """Q2: join of the twig answers only, each computed by TwigStack."""
+    stats = ensure_stats(stats)
+    if not query.twigs:
+        return Relation("Q2", Schema(()), [()])
+    result: Relation | None = None
+    for binding in query.twigs:
+        answer = twig_stack(binding.document, binding.twig, stats=stats)
+        stats.record_stage(f"twig answer {binding.name}", len(answer))
+        if result is None:
+            result = answer
+        else:
+            result = hash_join(result, answer, stats=stats)
+    assert result is not None
+    return result.with_name("Q2")
+
+
+def baseline_join(query: MultiModelQuery, *,
+                  plan: str = "greedy",
+                  stats: JoinStats | None = None) -> Relation:
+    """The full baseline: Q1 ⋈ Q2 (Example 3.4's "not optimal" plan)."""
+    stats = ensure_stats(stats)
+    stats.start_timer()
+    q1 = relational_subquery(query, plan=plan, stats=stats)
+    q2 = twig_subquery(query, stats=stats)
+    if q1.schema.arity == 0:
+        combined = q2 if len(q1) else Relation("Q", q2.schema)
+    elif q2.schema.arity == 0:
+        combined = q1 if len(q2) else Relation("Q", q1.schema)
+    else:
+        combined = hash_join(q1, q2, stats=stats)
+    stats.stop_timer()
+    return combined.project(query.attributes, name=query.name)

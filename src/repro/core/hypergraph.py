@@ -1,0 +1,112 @@
+"""Query hypergraphs: attributes as vertices, relation schemas as edges.
+
+The AGM machinery works on this representation. For the paper's
+multi-model queries the hypergraph contains one edge per relational table
+plus one edge per *decomposed twig path relation* (Figure 2); the builder
+for that combined graph lives in :mod:`repro.core.multimodel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """One edge: a named set of attributes with an optional cardinality."""
+
+    name: str
+    vertices: frozenset[str]
+    cardinality: int | None = None
+
+    def __post_init__(self):
+        if not self.vertices:
+            raise QueryError(f"hyperedge {self.name!r} has no vertices")
+
+    def __repr__(self) -> str:
+        size = "" if self.cardinality is None else f", |{self.cardinality}|"
+        return f"Hyperedge({self.name}:{sorted(self.vertices)}{size})"
+
+
+class Hypergraph:
+    """An attribute hypergraph with named edges.
+
+    >>> h = Hypergraph()
+    >>> _ = h.add_edge("R", ["a", "b"], cardinality=10)
+    >>> h.vertices
+    ('a', 'b')
+    """
+
+    def __init__(self, edges: Iterable[Hyperedge] = ()):
+        self._edges: dict[str, Hyperedge] = {}
+        self._vertices: list[str] = []
+        for edge in edges:
+            self._register(edge)
+
+    def _register(self, edge: Hyperedge) -> Hyperedge:
+        if edge.name in self._edges:
+            raise QueryError(f"duplicate hyperedge name {edge.name!r}")
+        self._edges[edge.name] = edge
+        for vertex in sorted(edge.vertices):
+            if vertex not in self._vertices:
+                self._vertices.append(vertex)
+        return edge
+
+    def add_edge(self, name: str, vertices: Iterable[str],
+                 cardinality: int | None = None) -> Hyperedge:
+        """Create and register an edge; returns it."""
+        return self._register(
+            Hyperedge(name, frozenset(vertices), cardinality))
+
+    @property
+    def vertices(self) -> tuple[str, ...]:
+        """All attributes, in first-appearance order."""
+        return tuple(self._vertices)
+
+    @property
+    def edges(self) -> tuple[Hyperedge, ...]:
+        return tuple(self._edges.values())
+
+    def edge(self, name: str) -> Hyperedge:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise QueryError(f"no hyperedge named {name!r}") from None
+
+    def edges_covering(self, vertex: str) -> tuple[Hyperedge, ...]:
+        """All edges containing *vertex*."""
+        return tuple(e for e in self._edges.values() if vertex in e.vertices)
+
+    def require_covered(self) -> None:
+        """Raise unless every vertex is in at least one edge (always true
+        by construction) and the graph is non-empty."""
+        if not self._edges:
+            raise QueryError("hypergraph has no edges")
+
+    def with_cardinalities(self, cardinalities: Mapping[str, int]
+                           ) -> "Hypergraph":
+        """A copy with per-edge cardinalities overridden."""
+        return Hypergraph(
+            Hyperedge(e.name, e.vertices,
+                      cardinalities.get(e.name, e.cardinality))
+            for e in self._edges.values())
+
+    def cardinalities(self) -> dict[str, int]:
+        """Per-edge cardinalities; raises if any edge is missing one."""
+        out = {}
+        for edge in self._edges.values():
+            if edge.cardinality is None:
+                raise QueryError(
+                    f"hyperedge {edge.name!r} has no cardinality")
+            out[edge.name] = edge.cardinality
+        return out
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return (f"Hypergraph({len(self._vertices)} vertices, "
+                f"{len(self._edges)} edges)")

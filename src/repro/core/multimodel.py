@@ -1,0 +1,172 @@
+"""Multi-model queries: relational tables joined with XML twigs.
+
+A :class:`MultiModelQuery` bundles relational tables and twig/document
+bindings into one conjunctive query. Attribute identity is by name: a
+twig node named ``ISBN`` joins with a relational column ``ISBN`` (Figure 1
+of the paper). The class exposes the combined query hypergraph (relation
+schemas plus decomposed twig path relations), the worst-case size bound of
+Section 3, and a naive evaluation oracle; the optimal evaluator is
+:func:`repro.core.xjoin.xjoin` and the traditional one
+:func:`repro.core.baseline.baseline_join`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.agm import AGMBound, agm_bound, symbolic_exponent, vertex_packing
+from repro.core.decomposition import (
+    TwigDecomposition,
+    decompose,
+    materialize_path_relation,
+    path_relation_cardinality,
+)
+from repro.core.hypergraph import Hypergraph
+from repro.errors import QueryError
+from repro.instrumentation import JoinStats
+from repro.relational.operators import naive_multiway_join
+from repro.relational.relation import Relation
+from repro.xml.model import XMLDocument
+from repro.xml.navigation import match_relation
+from repro.xml.twig import TwigQuery
+
+
+@dataclass(frozen=True)
+class TwigBinding:
+    """A twig pattern evaluated against one document."""
+
+    twig: TwigQuery
+    document: XMLDocument
+
+    @property
+    def name(self) -> str:
+        return self.twig.name
+
+
+class MultiModelQuery:
+    """A conjunctive query over relational tables and XML twigs.
+
+    >>> # doctest-style sketch; see examples/ for runnable versions.
+    >>> # q = MultiModelQuery([orders], [TwigBinding(twig, invoices)])
+    """
+
+    def __init__(self, relations: Sequence[Relation] = (),
+                 twigs: Sequence[TwigBinding] = (), *, name: str = "Q"):
+        self.relations = list(relations)
+        self.twigs = list(twigs)
+        self.name = name
+        if not self.relations and not self.twigs:
+            raise QueryError("a multi-model query needs at least one input")
+        names = [r.name for r in self.relations] + [t.name for t in self.twigs]
+        if len(names) != len(set(names)):
+            raise QueryError(f"duplicate input names in query: {names!r}")
+        self.decompositions: dict[str, TwigDecomposition] = {
+            binding.name: decompose(binding.twig) for binding in self.twigs}
+
+    # -- attributes ------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes, relational first, in first-appearance order."""
+        seen: list[str] = []
+        for relation in self.relations:
+            for attribute in relation.schema:
+                if attribute not in seen:
+                    seen.append(attribute)
+        for binding in self.twigs:
+            for attribute in binding.twig.attributes:
+                if attribute not in seen:
+                    seen.append(attribute)
+        return tuple(seen)
+
+    def binding_for(self, twig_name: str) -> TwigBinding:
+        for binding in self.twigs:
+            if binding.name == twig_name:
+                return binding
+        raise QueryError(f"no twig named {twig_name!r} in query")
+
+    def structural_attributes(self, binding: TwigBinding) -> frozenset[str]:
+        """Twig attributes of *binding* that join with nothing outside it.
+
+        These are safe to bind by node identity when valueless (see
+        :mod:`repro.core.surrogate`): they appear in no relational schema
+        and in no other twig, so only this twig's own path relations ever
+        intersect on them.
+        """
+        outside: set[str] = set()
+        for relation in self.relations:
+            outside.update(relation.schema.attributes)
+        for other in self.twigs:
+            if other.name != binding.name:
+                outside.update(other.twig.attributes)
+        return frozenset(a for a in binding.twig.attributes
+                         if a not in outside)
+
+    # -- the combined hypergraph and bounds --------------------------------
+
+    def hypergraph(self, *, with_cardinalities: bool = True) -> Hypergraph:
+        """Relation schemas plus decomposed path relations as hyperedges.
+
+        With ``with_cardinalities`` the edges carry instance sizes:
+        relation cardinalities and distinct-value-tuple counts of the path
+        relations.
+        """
+        graph = Hypergraph()
+        for relation in self.relations:
+            graph.add_edge(
+                relation.name, relation.schema.attributes,
+                cardinality=len(relation) if with_cardinalities else None)
+        for binding in self.twigs:
+            decomposition = self.decompositions[binding.name]
+            structural = self.structural_attributes(binding)
+            for path in decomposition.paths:
+                cardinality = (
+                    path_relation_cardinality(binding.document, path,
+                                              structural)
+                    if with_cardinalities else None)
+                graph.add_edge(path.name, path.attributes,
+                               cardinality=cardinality)
+        return graph
+
+    def size_bound(self) -> AGMBound:
+        """The instance worst-case size bound (Section 3, via Equation 1's
+        primal form weighted by log cardinalities)."""
+        return agm_bound(self.hypergraph())
+
+    def symbolic_exponent(self) -> Fraction:
+        """ρ*: the bound is n^ρ* when every input has cardinality n."""
+        return symbolic_exponent(self.hypergraph(with_cardinalities=False))
+
+    def dual_packing(self):
+        """The paper's Equation 1 certificate (max Σ y_a)."""
+        return vertex_packing(self.hypergraph(with_cardinalities=False))
+
+    # -- reference evaluation ---------------------------------------------
+
+    def twig_relations(self) -> list[Relation]:
+        """Each twig's full value-tuple answer (naive matcher)."""
+        return [match_relation(binding.document, binding.twig)
+                for binding in self.twigs]
+
+    def path_relations(self) -> list[Relation]:
+        """All decomposed path relations, materialised (for baselines and
+        bound cross-checks; XJoin does not call this)."""
+        out = []
+        for binding in self.twigs:
+            decomposition = self.decompositions[binding.name]
+            for path in decomposition.paths:
+                out.append(materialize_path_relation(binding.document, path))
+        return out
+
+    def naive_join(self, *, stats: JoinStats | None = None) -> Relation:
+        """Correctness oracle: natural join of the relational tables with
+        each twig's full (naively computed) answer relation."""
+        inputs = self.relations + self.twig_relations()
+        result = naive_multiway_join(inputs, name=self.name)
+        return result.project(self.attributes, name=self.name)
+
+    def __repr__(self) -> str:
+        return (f"MultiModelQuery({self.name!r}, "
+                f"{len(self.relations)} relations, {len(self.twigs)} twigs)")

@@ -1,0 +1,218 @@
+"""Twig structure validation for XJoin result tuples.
+
+The value-level join over decomposed path relations is a *relaxation* of
+the twig semantics: it enforces each root-leaf P-C chain but not the A-D
+edges or the requirement that all chains share their branching nodes.
+Algorithm 1 therefore ends with "Filter R by validating structure of Sx":
+each candidate value tuple must admit an actual embedding of the whole
+twig with exactly those values.
+
+:class:`StructureValidator` performs that check, memoised on the tuple of
+twig-attribute values (many result tuples share a twig projection, and
+XJoin's partial-validation mode re-checks prefixes aggressively).
+"""
+
+from __future__ import annotations
+
+from repro.core.surrogate import NodeSurrogate
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.schema import Value
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+
+def _node_matches(node: XMLNode, required: Value) -> bool:
+    """Does *node* carry the required binding (value or surrogate)?"""
+    if isinstance(required, NodeSurrogate):
+        return node.start == required.start
+    return node.value == required
+
+
+class StructureValidator:
+    """Memoised "does an embedding with these values exist?" oracle."""
+
+    def __init__(self, document: XMLDocument, twig: TwigQuery):
+        self.document = document
+        self.twig = twig
+        self._order = twig.nodes()  # pre-order: parents first
+        self._cache: dict[tuple, bool] = {}
+        # Per query node: candidate nodes grouped by value, so the search
+        # below touches only nodes with the right value.
+        self._candidates: dict[str, dict[Value, list[XMLNode]]] = {}
+        for query_node in self._order:
+            by_value: dict[Value, list[XMLNode]] = {}
+            for node in document.nodes(query_node.tag):
+                if query_node.matches_value(node.value):
+                    by_value.setdefault(node.value, []).append(node)
+            self._candidates[query_node.name] = by_value
+        self._by_start: dict[int, XMLNode] = {
+            node.start: node for node in document.nodes()}  # type: ignore
+
+    def validate(self, values: dict[str, Value], *,
+                 stats: JoinStats | None = None) -> bool:
+        """True iff the twig embeds with node values equal to *values*."""
+        stats = ensure_stats(stats)
+        key = tuple(values[q.name] for q in self._order)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._search(values)
+        self._cache[key] = result
+        if not result:
+            stats.count_filtered()
+        return result
+
+    def _search(self, values: dict[str, Value]) -> bool:
+        binding: dict[str, XMLNode] = {}
+
+        def candidates_for(query_node: TwigNode):
+            """Axis-directed candidate generation: child-axis nodes come
+            from the bound parent's children (cheap), descendant-axis
+            nodes from the value index filtered by region containment —
+            never a scan of all same-value nodes for child edges."""
+            required = values[query_node.name]
+            parent = query_node.parent
+            if isinstance(required, NodeSurrogate):
+                # Identity binding: exactly one candidate node exists.
+                node = self._by_start.get(required.start)
+                if node is None or node.tag != query_node.tag:
+                    return
+                if parent is not None:
+                    upper = binding[parent.name]
+                    if query_node.axis is Axis.CHILD:
+                        if node.parent is not upper:
+                            return
+                    elif not (upper.start < node.start
+                              and node.end < upper.end):
+                        return
+                yield node
+                return
+            if parent is None:
+                base = self._candidates[query_node.name].get(required, ())
+                # Container roots (e.g. an orderLine with value None) can
+                # have thousands of same-value candidates; derive them
+                # from the most selective child-axis child instead.
+                if len(base) > 8:
+                    for child_q in query_node.children:
+                        if child_q.axis is not Axis.CHILD:
+                            continue
+                        child_required = values[child_q.name]
+                        if isinstance(child_required, NodeSurrogate):
+                            node = self._by_start.get(child_required.start)
+                            child_candidates = ([node] if node is not None
+                                                else [])
+                        else:
+                            child_candidates = self._candidates[
+                                child_q.name].get(child_required, ())
+                        if len(child_candidates) * 4 >= len(base):
+                            continue
+                        derived: list[XMLNode] = []
+                        seen: set[int] = set()
+                        for child_node in child_candidates:
+                            upper = child_node.parent
+                            if (upper is not None
+                                    and id(upper) not in seen
+                                    and upper.tag == query_node.tag
+                                    and upper.value == required):
+                                seen.add(id(upper))
+                                derived.append(upper)
+                        base = derived
+                        break
+                yield from base
+                return
+            upper = binding[parent.name]
+            if query_node.axis is Axis.CHILD:
+                for child in upper.children:
+                    if child.tag == query_node.tag \
+                            and _node_matches(child, required) \
+                            and query_node.matches_value(child.value):
+                        yield child
+            else:
+                for candidate in self._candidates[query_node.name].get(
+                        required, ()):
+                    if upper.start < candidate.start \
+                            and candidate.end < upper.end:
+                        yield candidate
+
+        def extend(index: int) -> bool:
+            if index == len(self._order):
+                return True
+            query_node = self._order[index]
+            for candidate in candidates_for(query_node):
+                binding[query_node.name] = candidate
+                if extend(index + 1):
+                    return True
+                del binding[query_node.name]
+            return False
+
+        return extend(0)
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+class PartialStructureValidator:
+    """Validators for *prefixes* of the twig's attribute set.
+
+    XJoin's partial-validation extension prunes a partial value binding as
+    soon as the bound attributes of a twig cannot be embedded consistently,
+    rather than waiting for the final filter. For a bound subset S of twig
+    attributes the check is: does an embedding of the *induced upward
+    closure* of S (every bound node plus its query ancestors, with values
+    enforced only on S) exist?
+    """
+
+    def __init__(self, document: XMLDocument, twig: TwigQuery):
+        self.document = document
+        self.twig = twig
+        self._full = StructureValidator(document, twig)
+        self._cache: dict[tuple, bool] = {}
+
+    def validate_subset(self, values: dict[str, Value]) -> bool:
+        """Check embeddability of the twig restricted to ``values.keys()``.
+
+        Values absent from the dict are unconstrained. Sound (never prunes
+        a tuple that could still succeed) because dropping constraints
+        only enlarges the embedding space.
+        """
+        bound = frozenset(values)
+        key = (bound, tuple(sorted(values.items(),
+                                   key=lambda item: item[0])))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        order = self.twig.nodes()
+        binding: dict[str, XMLNode] = {}
+
+        def extend(index: int) -> bool:
+            if index == len(order):
+                return True
+            query_node = order[index]
+            required = values.get(query_node.name)
+            nodes = self.document.nodes(query_node.tag)
+            parent = query_node.parent
+            for candidate in nodes:
+                if required is not None and \
+                        not _node_matches(candidate, required):
+                    continue
+                if not query_node.matches_value(candidate.value):
+                    continue
+                if parent is not None:
+                    upper = binding[parent.name]
+                    if query_node.axis is Axis.CHILD:
+                        if candidate.parent is not upper:
+                            continue
+                    else:
+                        if not (upper.start < candidate.start
+                                and candidate.end < upper.end):
+                            continue
+                binding[query_node.name] = candidate
+                if extend(index + 1):
+                    return True
+                del binding[query_node.name]
+            return False
+
+        result = extend(0)
+        self._cache[key] = result
+        return result

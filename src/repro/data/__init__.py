@@ -1,0 +1,47 @@
+"""Workloads: the paper's synthetic instances and the Figure 1 scenario."""
+
+from repro.data.random_instances import (
+    random_multimodel_instance,
+    random_relation,
+    random_twig,
+)
+from repro.data.scenarios import (
+    FIGURE1_PATTERN,
+    bookstore_instance,
+    figure1_document,
+    figure1_query,
+    figure1_relation,
+    figure1_twig,
+)
+from repro.data.synthetic import (
+    FIGURE2_PATTERN,
+    WorstCaseInstance,
+    agm_tight_triangle,
+    example33_instance,
+    example33_relations,
+    example34_instance,
+    example34_relations,
+    figure2_twig,
+    worst_case_document,
+)
+
+__all__ = [
+    "FIGURE1_PATTERN",
+    "FIGURE2_PATTERN",
+    "WorstCaseInstance",
+    "agm_tight_triangle",
+    "bookstore_instance",
+    "example33_instance",
+    "example33_relations",
+    "example34_instance",
+    "example34_relations",
+    "figure1_document",
+    "figure1_query",
+    "figure1_relation",
+    "figure1_twig",
+    "figure2_twig",
+    "random_multimodel_instance",
+    "random_relation",
+    "random_twig",
+    "worst_case_document",
+]

@@ -1,0 +1,100 @@
+"""The paper's motivating scenario (Figure 1): bookstore orders.
+
+A relational table ``R(orderID, userID)`` joined with an XML invoice
+database whose order lines carry ISBN, price and discount. The query
+twig binds (orderID, ISBN, price); the answer is Q(userID, ISBN, price).
+
+Besides the literal three-order example of the figure, a scalable
+generator produces the same shape at any size for benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.relational.relation import Relation
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.parser import parse_document
+from repro.xml.twig import TwigQuery
+from repro.xml.twig_parser import parse_twig
+
+#: The twig of Figure 1: an order line with orderID, ISBN and price
+#: children (discount is present in the data but not queried).
+FIGURE1_PATTERN = "orderLine(/orderID, /ISBN, /price)"
+
+FIGURE1_XML = """
+<invoices>
+  <orderLine>
+    <orderID>10963</orderID>
+    <ISBN>978-3-16-1</ISBN>
+    <price>30</price>
+    <discount>0.1</discount>
+  </orderLine>
+  <orderLine>
+    <orderID>20134</orderID>
+    <ISBN>634-3-12-2</ISBN>
+    <price>20</price>
+    <discount>0.3</discount>
+  </orderLine>
+</invoices>
+"""
+
+
+def figure1_relation() -> Relation:
+    """The relational table of Figure 1."""
+    return Relation("R", ("orderID", "userID"),
+                    [(10963, "jack"), (20134, "tom"), (35768, "bob")])
+
+
+def figure1_document() -> XMLDocument:
+    """The invoice XML of Figure 1 (parsed with our own parser)."""
+    return parse_document(FIGURE1_XML)
+
+
+def figure1_twig() -> TwigQuery:
+    return parse_twig(FIGURE1_PATTERN, name="invoices")
+
+
+def figure1_query() -> MultiModelQuery:
+    """The whole Figure 1 join, ready to evaluate.
+
+    The expected answer, projected to (userID, ISBN, price), is
+    {(jack, 978-3-16-1, 30), (tom, 634-3-12-2, 20)}.
+    """
+    return MultiModelQuery(
+        [figure1_relation()],
+        [TwigBinding(figure1_twig(), figure1_document())],
+        name="Q")
+
+
+def bookstore_instance(orders: int, users: int, *,
+                       match_fraction: float = 0.8,
+                       seed: int = 0) -> MultiModelQuery:
+    """A scaled-up Figure 1: *orders* order lines, *users* customers.
+
+    ``match_fraction`` of the relational orders reference an order line
+    that exists in the XML; the rest dangle (they test that the join
+    drops them). Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    root = XMLNode("invoices")
+    isbns = [f"isbn-{i:05d}" for i in range(orders)]
+    for order_index in range(orders):
+        line = root.add("orderLine")
+        line.add("orderID", text=str(10_000 + order_index))
+        line.add("ISBN", text=isbns[order_index])
+        line.add("price", text=str(rng.randint(5, 80)))
+        line.add("discount", text=f"0.{rng.randint(0, 5)}")
+    document = XMLDocument(root)
+
+    rows = []
+    for order_index in range(orders):
+        if rng.random() < match_fraction:
+            order_id = 10_000 + order_index
+        else:
+            order_id = 90_000 + order_index  # dangling reference
+        rows.append((order_id, f"user-{rng.randrange(users):04d}"))
+    relation = Relation("R", ("orderID", "userID"), rows)
+    return MultiModelQuery(
+        [relation], [TwigBinding(figure1_twig(), document)], name="Q")

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class RelationError(ReproError):
+    """A relation is malformed (arity mismatch, unknown attribute, ...)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown relation, unbound attribute, ...)."""
+
+
+class XMLParseError(ReproError):
+    """The XML parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        detail = message
+        if line is not None and column is not None:
+            detail = f"{message} (line {line}, column {column})"
+        elif position is not None:
+            detail = f"{message} (offset {position})"
+        super().__init__(detail)
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class TwigError(ReproError):
+    """A twig pattern is malformed or cannot be parsed."""
+
+
+class LPError(ReproError):
+    """The linear-program solver failed (infeasible, unbounded, ...)."""
+
+
+class PlanError(ReproError):
+    """A join plan or attribute order is invalid for the given query."""

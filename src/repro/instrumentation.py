@@ -1,0 +1,130 @@
+"""Execution counters shared by every join algorithm in the library.
+
+The paper's headline evaluation (Figure 3) reports two metrics: running
+time and *intermediate result size*. :class:`JoinStats` records both, plus
+lower-level effort counters (comparisons, seeks, emitted tuples) that the
+ablation benchmarks use. Algorithms accept an optional ``stats`` argument;
+passing ``None`` costs almost nothing because the null object pattern is
+implemented by a shared :data:`NULL_STATS` instance whose methods are
+no-ops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageRecord:
+    """Size of one intermediate stage of a join (e.g. one attribute level)."""
+
+    label: str
+    size: int
+
+
+class JoinStats:
+    """Mutable counters threaded through a join execution.
+
+    ``max_intermediate`` is the quantity bounded by Lemma 3.5: the largest
+    number of partial tuples alive at any stage of the algorithm.
+    """
+
+    def __init__(self) -> None:
+        self.stages: list[StageRecord] = []
+        self.max_intermediate: int = 0
+        self.total_intermediate: int = 0
+        self.comparisons: int = 0
+        self.seeks: int = 0
+        self.emitted: int = 0
+        self.filtered: int = 0
+        self.wall_time: float = 0.0
+        self._start: float | None = None
+
+    # -- stage accounting ------------------------------------------------
+
+    def record_stage(self, label: str, size: int) -> None:
+        """Record that stage *label* produced *size* live partial tuples."""
+        self.stages.append(StageRecord(label, size))
+        self.total_intermediate += size
+        if size > self.max_intermediate:
+            self.max_intermediate = size
+
+    # -- effort counters ---------------------------------------------------
+
+    def count_comparisons(self, n: int = 1) -> None:
+        self.comparisons += n
+
+    def count_seeks(self, n: int = 1) -> None:
+        self.seeks += n
+
+    def count_emitted(self, n: int = 1) -> None:
+        self.emitted += n
+
+    def count_filtered(self, n: int = 1) -> None:
+        self.filtered += n
+
+    # -- timing ----------------------------------------------------------
+
+    def start_timer(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        if self._start is not None:
+            self.wall_time += time.perf_counter() - self._start
+            self._start = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def stage_sizes(self) -> list[int]:
+        return [record.size for record in self.stages]
+
+    def summary(self) -> dict[str, float]:
+        """A flat dict for printing in benchmark tables."""
+        return {
+            "max_intermediate": self.max_intermediate,
+            "total_intermediate": self.total_intermediate,
+            "comparisons": self.comparisons,
+            "seeks": self.seeks,
+            "emitted": self.emitted,
+            "filtered": self.filtered,
+            "wall_time": self.wall_time,
+        }
+
+    def __repr__(self) -> str:
+        return (f"JoinStats(max_intermediate={self.max_intermediate}, "
+                f"stages={len(self.stages)}, comparisons={self.comparisons})")
+
+
+class _NullStats(JoinStats):
+    """A JoinStats whose mutators are no-ops; shared default instance."""
+
+    def record_stage(self, label: str, size: int) -> None:  # noqa: D102
+        pass
+
+    def count_comparisons(self, n: int = 1) -> None:  # noqa: D102
+        pass
+
+    def count_seeks(self, n: int = 1) -> None:  # noqa: D102
+        pass
+
+    def count_emitted(self, n: int = 1) -> None:  # noqa: D102
+        pass
+
+    def count_filtered(self, n: int = 1) -> None:  # noqa: D102
+        pass
+
+    def start_timer(self) -> None:  # noqa: D102
+        pass
+
+    def stop_timer(self) -> None:  # noqa: D102
+        pass
+
+
+#: Shared do-nothing stats object used when callers pass ``stats=None``.
+NULL_STATS = _NullStats()
+
+
+def ensure_stats(stats: JoinStats | None) -> JoinStats:
+    """Return *stats* or the shared null object."""
+    return NULL_STATS if stats is None else stats

@@ -1,0 +1,125 @@
+"""Grouping and aggregation over relations.
+
+The examples' analytics queries (counts per category, top-k prices) need
+a small aggregation layer on top of the join algebra. Set semantics:
+grouping keys are attribute subsets; aggregates are named functions over
+the group's rows.
+
+>>> r = Relation("R", ("cat", "price"), [("a", 10), ("a", 20), ("b", 5)])
+>>> out = group_by(r, ["cat"], {"total": agg_sum("price")})
+>>> sorted(out)
+[('a', 30), ('b', 5)]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, Value, sort_key, tuple_sort_key
+
+#: An aggregate: a function from the group's rows (as attr->value dicts)
+#: to a single value.
+Aggregate = Callable[[list[dict[str, Value]]], Value]
+
+
+def agg_count() -> Aggregate:
+    """COUNT(*) over the group."""
+    return lambda rows: len(rows)
+
+
+def agg_count_distinct(attribute: str) -> Aggregate:
+    """COUNT(DISTINCT attribute)."""
+    return lambda rows: len({row[attribute] for row in rows})
+
+
+def agg_sum(attribute: str) -> Aggregate:
+    """SUM(attribute)."""
+    return lambda rows: sum(row[attribute] for row in rows)
+
+
+def agg_min(attribute: str) -> Aggregate:
+    """MIN(attribute) under the library's total order."""
+    return lambda rows: min((row[attribute] for row in rows),
+                            key=sort_key)
+
+
+def agg_max(attribute: str) -> Aggregate:
+    """MAX(attribute) under the library's total order."""
+    return lambda rows: max((row[attribute] for row in rows),
+                            key=sort_key)
+
+
+def agg_avg(attribute: str) -> Aggregate:
+    """AVG(attribute) as a float."""
+
+    def compute(rows: list[dict[str, Value]]) -> Value:
+        return sum(row[attribute] for row in rows) / len(rows)
+
+    return compute
+
+
+def group_by(relation: Relation, keys: Sequence[str],
+             aggregates: Mapping[str, Aggregate], *,
+             name: str | None = None) -> Relation:
+    """Group *relation* by *keys* and compute the named aggregates.
+
+    The output schema is ``keys + aggregate names``; grouping an empty
+    relation yields an empty relation (and, with no keys, no global row —
+    use :func:`summarize` for SQL's always-one-row behaviour).
+    """
+    schema = Schema(tuple(keys) + tuple(aggregates))
+    key_positions = relation.schema.positions(keys)
+    attrs = relation.schema.attributes
+    groups: dict[tuple[Value, ...], list[dict[str, Value]]] = {}
+    for row in relation.rows:
+        group_key = tuple(row[p] for p in key_positions)
+        groups.setdefault(group_key, []).append(dict(zip(attrs, row)))
+    out_rows = []
+    for group_key, members in groups.items():
+        out_rows.append(group_key + tuple(
+            aggregate(members) for aggregate in aggregates.values()))
+    return Relation(name or f"γ({relation.name})", schema, out_rows)
+
+
+def summarize(relation: Relation,
+              aggregates: Mapping[str, Aggregate], *,
+              name: str | None = None) -> Relation:
+    """Whole-relation aggregation producing exactly one row.
+
+    Empty input yields one row of aggregate values over zero rows for
+    aggregates that support it (count -> 0); aggregates that need rows
+    (min/max/avg) raise ``ValueError``/``ZeroDivisionError`` as Python
+    naturally would — an empty min has no meaningful value.
+    """
+    attrs = relation.schema.attributes
+    members = [dict(zip(attrs, row)) for row in relation.rows]
+    row = tuple(aggregate(members) for aggregate in aggregates.values())
+    return Relation(name or f"γ({relation.name})",
+                    Schema(tuple(aggregates)), [row])
+
+
+def order_by(relation: Relation, keys: Sequence[str], *,
+             descending: bool = False,
+             limit: int | None = None) -> list[tuple[Value, ...]]:
+    """Rows sorted by *keys* (then by the full tuple, for determinism).
+
+    Returns a list — ordering is presentation, not algebra, so the result
+    is not a Relation.
+    """
+    positions = relation.schema.positions(keys)
+
+    def sort_value(row: tuple[Value, ...]):
+        return (tuple_sort_key(tuple(row[p] for p in positions)),
+                tuple_sort_key(row))
+
+    ordered = sorted(relation.rows, key=sort_value, reverse=descending)
+    return ordered[:limit] if limit is not None else ordered
+
+
+def top_k(relation: Relation, attribute: str, k: int) -> list[tuple[Value, ...]]:
+    """The k rows with the largest values of *attribute*."""
+    if k < 0:
+        raise SchemaError("top_k requires k >= 0")
+    return order_by(relation, [attribute], descending=True, limit=k)

@@ -1,0 +1,77 @@
+"""A tiny relational catalog: named relations plus cached statistics."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import QueryError
+from repro.relational.csvio import read_csv
+from repro.relational.relation import Relation
+from repro.relational.statistics import RelationStats, relation_stats
+
+
+class Database:
+    """A named collection of relations with lazily computed statistics.
+
+    >>> db = Database()
+    >>> _ = db.add(Relation("R", ("a", "b"), [(1, 2)]))
+    >>> db["R"].schema.attributes
+    ('a', 'b')
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        self._stats: dict[str, RelationStats] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation, *, replace: bool = False) -> Relation:
+        """Register a relation under its name."""
+        if relation.name in self._relations and not replace:
+            raise QueryError(f"relation {relation.name!r} already exists "
+                             f"(pass replace=True to overwrite)")
+        self._relations[relation.name] = relation
+        self._stats.pop(relation.name, None)
+        return relation
+
+    def remove(self, name: str) -> None:
+        if name not in self._relations:
+            raise QueryError(f"relation {name!r} does not exist")
+        del self._relations[name]
+        self._stats.pop(name, None)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise QueryError(f"relation {name!r} does not exist") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def stats(self, name: str) -> RelationStats:
+        """Statistics for one relation, computed once and cached."""
+        if name not in self._stats:
+            self._stats[name] = relation_stats(self[name])
+        return self._stats[name]
+
+    def load_csv(self, name: str, path: str | Path) -> Relation:
+        """Read a CSV file and register it as relation *name*."""
+        return self.add(read_csv(name, path))
+
+    def relations(self, names: Iterable[str] | None = None) -> list[Relation]:
+        """Look up several relations (all of them when *names* is None)."""
+        if names is None:
+            return list(self._relations.values())
+        return [self[name] for name in names]

@@ -1,0 +1,62 @@
+"""CSV persistence for relations.
+
+The first row is the header (the schema). Values are written as text; on
+read, each cell is revived with :func:`parse_value`, which restores ints
+and floats and leaves everything else as strings — matching how the
+synthetic workloads of the paper encode their domains.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.errors import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Value
+
+
+def parse_value(text: str) -> Value:
+    """Revive a CSV cell: int if it looks like an int, else float, else str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def relation_to_csv(relation: Relation) -> str:
+    """Serialise a relation to CSV text (header + sorted rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(relation.schema.attributes)
+    for row in relation.sorted_rows():
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def relation_from_csv(name: str, text: str) -> Relation:
+    """Parse CSV text (header + rows) into a relation."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise RelationError(f"relation {name!r}: CSV input is empty") from None
+    rows = [tuple(parse_value(cell) for cell in record)
+            for record in reader if record]
+    return Relation(name, tuple(header), rows)
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to *path* as CSV."""
+    Path(path).write_text(relation_to_csv(relation), encoding="utf-8")
+
+
+def read_csv(name: str, path: str | Path) -> Relation:
+    """Read a relation from a CSV file at *path*."""
+    return relation_from_csv(name, Path(path).read_text(encoding="utf-8"))

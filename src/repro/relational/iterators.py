@@ -1,0 +1,95 @@
+"""Linear iterators over sorted value sequences.
+
+The leapfrog primitives operate on anything implementing the small
+:class:`LinearIterator` protocol (``key``/``next``/``seek``/``at_end``).
+Two implementations are provided: :class:`SortedListIterator` over a plain
+sorted list, and :class:`TrieLevelIterator` adapting one level of a
+:class:`~repro.relational.trie.TrieIterator`. The XML side contributes its
+own implementations for virtual P-C relations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.relational.schema import Value, sort_key
+from repro.relational.trie import TrieIterator
+
+
+@runtime_checkable
+class LinearIterator(Protocol):
+    """A forward iterator over values in :func:`sort_key` order."""
+
+    def key(self) -> Value:
+        """The current value; undefined once :meth:`at_end` is true."""
+
+    def next(self) -> None:
+        """Advance to the following value."""
+
+    def seek(self, value: Value) -> None:
+        """Advance to the first value >= *value* (never moves backwards)."""
+
+    def at_end(self) -> bool:
+        """True once the iterator is exhausted."""
+
+
+class SortedListIterator:
+    """A linear iterator over an explicit sorted list of distinct values."""
+
+    __slots__ = ("_values", "_keys", "_index")
+
+    def __init__(self, values: Iterable[Value], *, presorted: bool = False):
+        values = list(values)
+        if not presorted:
+            values = sorted(set(values), key=sort_key)
+        self._values: Sequence[Value] = values
+        self._keys = [sort_key(v) for v in values]
+        self._index = 0
+
+    def key(self) -> Value:
+        return self._values[self._index]
+
+    def next(self) -> None:
+        self._index += 1
+
+    def seek(self, value: Value) -> None:
+        index = bisect.bisect_left(self._keys, sort_key(value), lo=self._index)
+        self._index = index
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class TrieLevelIterator:
+    """Adapt the current level of a :class:`TrieIterator` to the protocol."""
+
+    __slots__ = ("_trie_iterator",)
+
+    def __init__(self, trie_iterator: TrieIterator):
+        self._trie_iterator = trie_iterator
+
+    def key(self) -> Value:
+        return self._trie_iterator.key()
+
+    def next(self) -> None:
+        self._trie_iterator.next()
+
+    def seek(self, value: Value) -> None:
+        self._trie_iterator.seek(value)
+
+    def at_end(self) -> bool:
+        return self._trie_iterator.at_end()
+
+
+def materialize(iterator: LinearIterator) -> list[Value]:
+    """Drain a linear iterator into a list (test helper)."""
+    out = []
+    while not iterator.at_end():
+        out.append(iterator.key())
+        iterator.next()
+    return out

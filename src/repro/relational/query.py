@@ -1,0 +1,239 @@
+"""A datalog-style conjunctive query front-end for the relational engine.
+
+Grammar::
+
+    query := HEAD '(' vars ')' ':-' atom (',' atom)*
+    atom  := NAME '(' terms ')'
+    term  := variable | constant        # constants: int, float, 'string'
+
+Example::
+
+    q = parse_cq("Q(x, z) :- R(x, y), S(y, z), T(x, z)")
+    result = q.evaluate(database)                  # leapfrog triejoin
+    result = q.evaluate(database, algorithm="binary")  # hash-join plan
+
+Constants compile to selections; repeated variables within one atom
+compile to equality selections; the head projects the join. This is the
+front-end the relational substrate deserves — and it doubles as a test
+vehicle for the WCOJ joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.instrumentation import JoinStats
+from repro.relational.catalog import Database
+from repro.relational.generic_join import generic_join
+from repro.relational.leapfrog import leapfrog_triejoin
+from repro.relational.plans import execute_plan, greedy_plan
+from repro.relational.relation import Relation
+from repro.relational.schema import Value
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+@dataclass(frozen=True)
+class Term:
+    """One argument of an atom: a variable or a constant."""
+
+    is_variable: bool
+    value: Value  # variable name (str) or the constant itself
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One body atom: a relation name applied to terms."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(t.value for t in self.terms if t.is_variable)
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A parsed conjunctive query."""
+
+    name: str
+    head: tuple[str, ...]
+    body: tuple[Atom, ...]
+
+    def variables(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for atom in self.body:
+            for variable in atom.variables:
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    def validate(self) -> None:
+        body_vars = set(self.variables())
+        for variable in self.head:
+            if variable not in body_vars:
+                raise QueryError(
+                    f"head variable {variable!r} not bound in the body")
+        if not self.body:
+            raise QueryError("a conjunctive query needs at least one atom")
+
+    def _prepared_inputs(self, database: Database) -> list[Relation]:
+        """One relation per atom: constants/repeats selected out, columns
+        renamed to the atom's variables."""
+        prepared = []
+        for index, atom in enumerate(self.body):
+            relation = database[atom.relation]
+            if relation.schema.arity != len(atom.terms):
+                raise QueryError(
+                    f"atom {atom.relation}/{len(atom.terms)} does not match "
+                    f"relation arity {relation.schema.arity}")
+            rows = []
+            keep_positions: list[int] = []
+            variable_names: list[str] = []
+            first_position: dict[str, int] = {}
+            for position, term in enumerate(atom.terms):
+                if term.is_variable and term.value not in first_position:
+                    first_position[term.value] = position
+                    keep_positions.append(position)
+                    variable_names.append(term.value)
+            for row in relation.rows:
+                ok = True
+                for position, term in enumerate(atom.terms):
+                    if term.is_variable:
+                        if row[position] != row[first_position[term.value]]:
+                            ok = False
+                            break
+                    elif row[position] != term.value:
+                        ok = False
+                        break
+                if ok:
+                    rows.append(tuple(row[p] for p in keep_positions))
+            prepared.append(Relation(f"{atom.relation}#{index}",
+                                     tuple(variable_names), rows))
+        return prepared
+
+    def evaluate(self, database: Database, *,
+                 algorithm: str = "leapfrog",
+                 stats: JoinStats | None = None) -> Relation:
+        """Evaluate against *database*; algorithms: leapfrog (WCOJ,
+        default), generic (WCOJ), binary (greedy hash-join plan)."""
+        self.validate()
+        inputs = self._prepared_inputs(database)
+        order = self.variables()
+        if algorithm == "leapfrog":
+            joined = leapfrog_triejoin(inputs, order, stats=stats)
+        elif algorithm == "generic":
+            joined = generic_join(inputs, order, stats=stats)
+        elif algorithm == "binary":
+            named = {r.name: r for r in inputs}
+            joined = execute_plan(greedy_plan(named), named, stats=stats)
+        else:
+            raise QueryError(f"unknown algorithm {algorithm!r}")
+        return joined.project(self.head, name=self.name)
+
+
+class _Scanner:
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> QueryError:
+        return QueryError(f"{message} at offset {self.pos} in {self.text!r}")
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_space()
+        return self.text[self.pos: self.pos + 1]
+
+    def expect(self, token: str) -> None:
+        self.skip_space()
+        if not self.text.startswith(token, self.pos):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def name(self) -> str:
+        self.skip_space()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start: self.pos]
+
+    def term(self) -> Term:
+        self.skip_space()
+        ch = self.peek()
+        if ch == "'":
+            self.pos += 1
+            end = self.text.find("'", self.pos)
+            if end < 0:
+                raise self.error("unterminated string constant")
+            value = self.text[self.pos: end]
+            self.pos = end + 1
+            return Term(is_variable=False, value=value)
+        if ch.isdigit() or ch == "-":
+            start = self.pos
+            self.pos += 1
+            while (self.pos < len(self.text)
+                   and (self.text[self.pos].isdigit()
+                        or self.text[self.pos] == ".")):
+                self.pos += 1
+            raw = self.text[start: self.pos]
+            return Term(is_variable=False,
+                        value=float(raw) if "." in raw else int(raw))
+        return Term(is_variable=True, value=self.name())
+
+    def at_end(self) -> bool:
+        self.skip_space()
+        return self.pos >= len(self.text)
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse ``Head(x, y) :- R(x, z), S(z, y)`` into a query object."""
+    scanner = _Scanner(text)
+    name = scanner.name()
+    scanner.expect("(")
+    head: list[str] = []
+    if scanner.peek() != ")":
+        while True:
+            term = scanner.term()
+            if not term.is_variable:
+                raise scanner.error("head terms must be variables")
+            head.append(term.value)
+            if scanner.peek() == ",":
+                scanner.expect(",")
+                continue
+            break
+    scanner.expect(")")
+    scanner.expect(":-")
+    atoms: list[Atom] = []
+    while True:
+        relation = scanner.name()
+        scanner.expect("(")
+        terms: list[Term] = []
+        if scanner.peek() != ")":
+            while True:
+                terms.append(scanner.term())
+                if scanner.peek() == ",":
+                    scanner.expect(",")
+                    continue
+                break
+        scanner.expect(")")
+        atoms.append(Atom(relation=relation, terms=tuple(terms)))
+        if scanner.peek() == ",":
+            scanner.expect(",")
+            continue
+        break
+    if not scanner.at_end():
+        raise scanner.error("trailing input after query")
+    query = ConjunctiveQuery(name=name, head=tuple(head), body=tuple(atoms))
+    query.validate()
+    return query

@@ -1,0 +1,64 @@
+"""Per-relation statistics used by planners and size estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Value, sort_key
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one attribute of a relation."""
+
+    attribute: str
+    distinct: int
+    minimum: Value | None
+    maximum: Value | None
+    max_frequency: int
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of the domain an equality predicate keeps (1/distinct)."""
+        return 1.0 / self.distinct if self.distinct else 0.0
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Cardinality plus per-column statistics of a relation."""
+
+    name: str
+    cardinality: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def distinct(self, attribute: str) -> int:
+        return self.columns[attribute].distinct
+
+
+def column_stats(relation: Relation, attribute: str) -> ColumnStats:
+    """Compute distinct count, min/max and the heaviest-hitter frequency."""
+    position = relation.schema.index(attribute)
+    frequency: dict[Value, int] = {}
+    for row in relation.rows:
+        value = row[position]
+        frequency[value] = frequency.get(value, 0) + 1
+    if not frequency:
+        return ColumnStats(attribute, 0, None, None, 0)
+    ordered = sorted(frequency, key=sort_key)
+    return ColumnStats(
+        attribute=attribute,
+        distinct=len(frequency),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        max_frequency=max(frequency.values()),
+    )
+
+
+def relation_stats(relation: Relation) -> RelationStats:
+    """Compute full statistics for a relation."""
+    return RelationStats(
+        name=relation.name,
+        cardinality=len(relation),
+        columns={a: column_stats(relation, a) for a in relation.schema},
+    )

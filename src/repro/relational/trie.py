@@ -1,0 +1,195 @@
+"""Sorted trie indexes over relations, the storage layout behind LFTJ.
+
+A :class:`Trie` indexes a relation by a fixed attribute order. Each node
+maps a value to its child node; every node caches its keys in sorted order
+(the mixed-type total order of :func:`repro.relational.schema.sort_key`) so
+leapfrog iterators can binary-search them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator, Sequence
+
+from repro.errors import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Value, sort_key
+
+
+class TrieNode:
+    """One level of a trie: sorted keys plus child pointers."""
+
+    __slots__ = ("children", "sorted_keys", "_sort_keys")
+
+    def __init__(self) -> None:
+        self.children: dict[Value, "TrieNode"] = {}
+        self.sorted_keys: list[Value] = []
+        self._sort_keys: list[tuple[int, Value]] = []
+
+    def freeze(self) -> None:
+        """Sort the key cache; called once after building."""
+        self.sorted_keys = sorted(self.children, key=sort_key)
+        self._sort_keys = [sort_key(k) for k in self.sorted_keys]
+        for child in self.children.values():
+            child.freeze()
+
+    def seek_index(self, value: Value) -> int:
+        """Index of the first key >= *value* in the sorted order."""
+        return bisect.bisect_left(self._sort_keys, sort_key(value))
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+
+class Trie:
+    """A relation indexed as a trie over ``order`` (a permutation of its schema).
+
+    >>> r = Relation("R", ("a", "b"), [(1, 2), (1, 3), (2, 2)])
+    >>> t = Trie(r, ("a", "b"))
+    >>> t.root.sorted_keys
+    [1, 2]
+    >>> sorted(t.tuples())
+    [(1, 2), (1, 3), (2, 2)]
+    """
+
+    def __init__(self, relation: Relation, order: Sequence[str] | None = None):
+        if order is None:
+            order = relation.schema.attributes
+        order = tuple(order)
+        if sorted(order) != sorted(relation.schema.attributes):
+            raise RelationError(
+                f"trie order {order!r} is not a permutation of schema "
+                f"{relation.schema.attributes!r}"
+            )
+        self.relation = relation
+        self.order = order
+        positions = relation.schema.positions(order)
+        self.root = self._build(relation.rows, positions)
+        self.size = len(relation)
+
+    @staticmethod
+    def _build(rows, positions) -> TrieNode:
+        root = TrieNode()
+        for row in rows:
+            node = root
+            for position in positions:
+                value = row[position]
+                child = node.children.get(value)
+                if child is None:
+                    child = TrieNode()
+                    node.children[value] = child
+                node = child
+        root.freeze()
+        return root
+
+    @classmethod
+    def from_rows(cls, name: str, attributes: Sequence[str], rows,
+                  order: Sequence[str] | None = None) -> "Trie":
+        """Build a trie directly from an iterable of rows.
+
+        Rows are consumed once and deduplicated by the trie structure
+        itself — no intermediate relation is materialised (XJoin uses this
+        to index XML path chains without "physically transforming" them).
+        """
+        attributes = tuple(attributes)
+        if order is None:
+            order = attributes
+        order = tuple(order)
+        if sorted(order) != sorted(attributes):
+            raise RelationError(
+                f"trie order {order!r} is not a permutation of "
+                f"{attributes!r}")
+        trie = cls.__new__(cls)
+        trie.relation = None
+        trie.order = order
+        positions = tuple(attributes.index(a) for a in order)
+        trie.root = cls._build(rows, positions)
+        trie.size = sum(1 for _ in trie.tuples())
+        return trie
+
+    @property
+    def depth(self) -> int:
+        return len(self.order)
+
+    def tuples(self) -> Iterator[tuple[Value, ...]]:
+        """Enumerate stored tuples (in ``order`` attribute order), sorted."""
+
+        def recurse(node: TrieNode, prefix: tuple[Value, ...],
+                    level: int) -> Iterator[tuple[Value, ...]]:
+            if level == self.depth:
+                yield prefix
+                return
+            for key in node.sorted_keys:
+                yield from recurse(node.children[key], prefix + (key,), level + 1)
+
+        yield from recurse(self.root, (), 0)
+
+    def descend(self, prefix: Sequence[Value]) -> TrieNode | None:
+        """The node reached by following *prefix* from the root, or None."""
+        node = self.root
+        for value in prefix:
+            node = node.children.get(value)
+            if node is None:
+                return None
+        return node
+
+    def contains_prefix(self, prefix: Sequence[Value]) -> bool:
+        return self.descend(prefix) is not None
+
+
+class TrieIterator:
+    """The LFTJ trie-iterator interface: open / up / next / seek / key.
+
+    The iterator is positioned *at* a key on some level (or at-end on that
+    level). Level -1 is the virtual root position before any ``open``.
+    """
+
+    __slots__ = ("_trie", "_path", "_positions")
+
+    def __init__(self, trie: Trie):
+        self._trie = trie
+        self._path: list[TrieNode] = [trie.root]
+        self._positions: list[int] = []
+
+    @property
+    def level(self) -> int:
+        """Current depth: -1 at the root, 0..depth-1 when positioned."""
+        return len(self._positions) - 1
+
+    def _current_node(self) -> TrieNode:
+        return self._path[-1]
+
+    def at_end(self) -> bool:
+        """True when positioned past the last key of the current level."""
+        node = self._path[len(self._positions) - 1]
+        return self._positions[-1] >= len(node.sorted_keys)
+
+    def key(self) -> Value:
+        """The key at the current position (undefined when at_end)."""
+        node = self._path[len(self._positions) - 1]
+        return node.sorted_keys[self._positions[-1]]
+
+    def open(self) -> None:
+        """Descend to the first key of the next level."""
+        node = self._path[len(self._positions) - 1]
+        if self._positions:
+            node = node.children[self.key()]
+            self._path.append(node)
+        self._positions.append(0)
+
+    def up(self) -> None:
+        """Return to the parent level."""
+        self._positions.pop()
+        while len(self._path) > max(len(self._positions), 1):
+            self._path.pop()
+
+    def next(self) -> None:
+        """Advance to the next key on the current level."""
+        self._positions[-1] += 1
+
+    def seek(self, value: Value) -> None:
+        """Advance to the first key >= *value* on the current level."""
+        node = self._path[len(self._positions) - 1]
+        index = node.seek_index(value)
+        if index > self._positions[-1]:
+            self._positions[-1] = index

@@ -1,0 +1,83 @@
+"""XML substrate: document model, parser, labelling schemes, twig matching.
+
+Everything the paper's XML side needs, self-contained: a hand-written
+parser/serialiser, region and (extended) Dewey encodings, the twig query
+model and pattern language, and four twig-matching algorithms (naive
+navigation, structural-join pipeline, PathStack/TwigStack, TJFast).
+"""
+
+from repro.xml.dewey import (
+    ExtendedDeweyLabeler,
+    annotate_dewey,
+    common_prefix,
+    dewey_is_ancestor,
+    dewey_is_parent,
+)
+from repro.xml.encoding import annotate_regions, is_ancestor, is_parent
+from repro.xml.generator import (
+    chain_document,
+    layered_document,
+    random_document,
+    star_document,
+)
+from repro.xml.model import XMLDocument, XMLNode, element
+from repro.xml.navigation import (
+    has_embedding_with_values,
+    match_embeddings,
+    match_relation,
+    verify_embedding,
+)
+from repro.xml.parser import parse_document, parse_element_tree
+from repro.xml.pathstack import path_stack, path_stack_relation
+from repro.xml.serializer import serialize
+from repro.xml.streams import TagStream
+from repro.xml.structural_join import stack_tree_join, structural_join_pipeline
+from repro.xml.tjfast import tjfast, tjfast_embeddings
+from repro.xml.twig import Axis, TwigNode, TwigQuery, pattern_string
+from repro.xml.twig_parser import parse_twig
+from repro.xml.twigstack import twig_stack, twig_stack_embeddings
+from repro.xml.xmark import XMarkScale, xmark_document
+from repro.xml.xpath import XPathQuery, parse_xpath
+
+__all__ = [
+    "Axis",
+    "ExtendedDeweyLabeler",
+    "TagStream",
+    "TwigNode",
+    "TwigQuery",
+    "XMLDocument",
+    "XMLNode",
+    "XMarkScale",
+    "XPathQuery",
+    "annotate_dewey",
+    "annotate_regions",
+    "chain_document",
+    "common_prefix",
+    "dewey_is_ancestor",
+    "dewey_is_parent",
+    "element",
+    "has_embedding_with_values",
+    "is_ancestor",
+    "is_parent",
+    "layered_document",
+    "match_embeddings",
+    "match_relation",
+    "parse_document",
+    "parse_element_tree",
+    "parse_twig",
+    "parse_xpath",
+    "path_stack",
+    "path_stack_relation",
+    "pattern_string",
+    "random_document",
+    "serialize",
+    "stack_tree_join",
+    "star_document",
+    "structural_join_pipeline",
+    "tjfast",
+    "tjfast_embeddings",
+    "twig_stack",
+    "twig_stack_embeddings",
+    "verify_embedding",
+    "xmark_document",
+]

@@ -1,0 +1,74 @@
+"""Region encoding (start, end, level) for XML nodes.
+
+The classic containment labelling used by structural joins (Al-Khalifa et
+al. 2002): each node gets a ``start`` on entry and an ``end`` after its
+subtree, so
+
+* ``a`` is an **ancestor** of ``d``  iff  ``a.start < d.start`` and
+  ``d.end < a.end``;
+* ``a`` is the **parent** of ``d``  iff  additionally
+  ``d.level == a.level + 1``;
+* document order is ``start`` order.
+
+All predicates here are pure functions of the labels, so they also work on
+any object exposing ``start``/``end``/``level``.
+"""
+
+from __future__ import annotations
+
+from repro.xml.model import XMLNode
+
+
+def annotate_regions(root: XMLNode) -> XMLNode:
+    """Assign ``start``/``end``/``level`` to every node of the subtree.
+
+    Iterative DFS so pathological deep documents do not hit the Python
+    recursion limit. Returns *root* for chaining.
+    """
+    counter = 0
+    # Stack of (node, level, child_index); child_index tracks progress.
+    stack: list[tuple[XMLNode, int, int]] = [(root, 0, 0)]
+    while stack:
+        node, level, child_index = stack.pop()
+        if child_index == 0:
+            node.start = counter
+            node.level = level
+            counter += 1
+        if child_index < len(node.children):
+            stack.append((node, level, child_index + 1))
+            stack.append((node.children[child_index], level + 1, 0))
+        else:
+            node.end = counter
+            counter += 1
+    return root
+
+
+def is_ancestor(ancestor: XMLNode, descendant: XMLNode) -> bool:
+    """True iff *ancestor* properly contains *descendant* (A-D axis)."""
+    return (ancestor.start < descendant.start
+            and descendant.end < ancestor.end)
+
+
+def is_parent(parent: XMLNode, child: XMLNode) -> bool:
+    """True iff *child* is a direct child of *parent* (P-C axis)."""
+    return is_ancestor(parent, child) and child.level == parent.level + 1
+
+
+def satisfies_axis(upper: XMLNode, lower: XMLNode, axis: "object") -> bool:
+    """Dispatch on the twig axis (imported lazily to avoid a cycle)."""
+    from repro.xml.twig import Axis
+
+    if axis is Axis.CHILD:
+        return is_parent(upper, lower)
+    return is_ancestor(upper, lower)
+
+
+def document_order(node: XMLNode) -> int:
+    """Sort key for document order (valid after annotate_regions)."""
+    assert node.start is not None, "node has no region label; reindex first"
+    return node.start
+
+
+def region_contains(outer: tuple[int, int], inner: tuple[int, int]) -> bool:
+    """Interval form of the ancestor test, for label-only data."""
+    return outer[0] < inner[0] and inner[1] < outer[1]

@@ -1,0 +1,128 @@
+"""Naive navigational twig matching — the correctness oracle.
+
+Enumerates *all* embeddings of a twig into a document by brute-force
+recursive search. Quadratic-ish and proud of it: every optimised matcher
+(structural join pipeline, PathStack, TwigStack, TJFast) is tested against
+this implementation.
+
+An embedding maps each twig node name to an XML node such that tags and
+value predicates match and every edge's axis holds. Results come in two
+flavours: node embeddings (:func:`match_embeddings`) and the value tuples
+the paper joins on (:func:`match_relation`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.relation import Relation
+from repro.xml.encoding import is_ancestor, is_parent
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+
+def axis_candidates(document: XMLDocument, anchor: XMLNode | None,
+                    query_node: TwigNode) -> Iterator[XMLNode]:
+    """Document nodes that could match *query_node* under *anchor*.
+
+    With no anchor (the twig root) every node of the right tag qualifies.
+    """
+    if anchor is None:
+        yield from document.nodes(query_node.tag)
+    elif query_node.axis is Axis.CHILD:
+        for child in anchor.children:
+            if child.tag == query_node.tag:
+                yield child
+    else:
+        for node in anchor.descendants():
+            if node.tag == query_node.tag:
+                yield node
+
+
+def match_embeddings(document: XMLDocument, twig: TwigQuery, *,
+                     stats: JoinStats | None = None
+                     ) -> list[dict[str, XMLNode]]:
+    """All embeddings of *twig* into *document* as name->node dicts."""
+    stats = ensure_stats(stats)
+    out: list[dict[str, XMLNode]] = []
+    order = twig.nodes()  # pre-order: parents before children
+
+    def extend(index: int, binding: dict[str, XMLNode]) -> None:
+        if index == len(order):
+            out.append(dict(binding))
+            stats.count_emitted()
+            return
+        query_node = order[index]
+        anchor = (binding[query_node.parent.name]
+                  if query_node.parent is not None else None)
+        for candidate in axis_candidates(document, anchor, query_node):
+            stats.count_comparisons()
+            if not query_node.matches_value(candidate.value):
+                continue
+            binding[query_node.name] = candidate
+            extend(index + 1, binding)
+            del binding[query_node.name]
+
+    extend(0, {})
+    return out
+
+
+def match_relation(document: XMLDocument, twig: TwigQuery, *,
+                   name: str | None = None,
+                   stats: JoinStats | None = None) -> Relation:
+    """The twig's value-tuple answer: one row per embedding, projected to
+    values, with duplicate value tuples collapsed (set semantics)."""
+    embeddings = match_embeddings(document, twig, stats=stats)
+    attrs = twig.attributes
+    rows = [tuple(embedding[a].value for a in attrs)
+            for embedding in embeddings]
+    return Relation(name or twig.name, attrs, rows)
+
+
+def has_embedding_with_values(document: XMLDocument, twig: TwigQuery,
+                              values: dict[str, object]) -> bool:
+    """Does an embedding exist whose node values equal *values*?
+
+    Used by XJoin's final structure-validation filter. Performs the same
+    recursive search as :func:`match_embeddings` but prunes on values and
+    stops at the first witness.
+    """
+    order = twig.nodes()
+
+    def extend(index: int, binding: dict[str, XMLNode]) -> bool:
+        if index == len(order):
+            return True
+        query_node = order[index]
+        anchor = (binding[query_node.parent.name]
+                  if query_node.parent is not None else None)
+        required = values.get(query_node.name)
+        for candidate in axis_candidates(document, anchor, query_node):
+            if candidate.value != required:
+                continue
+            if not query_node.matches_value(candidate.value):
+                continue
+            binding[query_node.name] = candidate
+            if extend(index + 1, binding):
+                return True
+            del binding[query_node.name]
+        return False
+
+    return extend(0, {})
+
+
+def verify_embedding(embedding: dict[str, XMLNode], twig: TwigQuery) -> bool:
+    """Check one name->node mapping against the twig's constraints."""
+    for query_node in twig.nodes():
+        node = embedding.get(query_node.name)
+        if node is None or node.tag != query_node.tag:
+            return False
+        if not query_node.matches_value(node.value):
+            return False
+        if query_node.parent is not None:
+            upper = embedding[query_node.parent.name]
+            ok = (is_parent(upper, node) if query_node.axis is Axis.CHILD
+                  else is_ancestor(upper, node))
+            if not ok:
+                return False
+    return True

@@ -1,0 +1,136 @@
+"""PathStack (Bruno, Koudas, Srivastava 2002) for linear path queries.
+
+Matches a *path* pattern p1 → p2 → ... → pk (each edge ``/`` or ``//``)
+against a document in one document-order sweep, using one stack per query
+node. Elements are pushed linked to the current top of the parent stack,
+and complete root-to-leaf solutions are expanded whenever a leaf element
+is pushed.
+
+The twig algorithms build on the same stack discipline; this standalone
+version exists because the paper's decomposition reduces twigs to
+root-leaf *paths*, making PathStack the natural unit to test.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TwigError
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.xml.encoding import is_ancestor, is_parent
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.streams import TagStream
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+
+def path_nodes(twig: TwigQuery) -> list[TwigNode]:
+    """The query nodes of a path twig, root first; rejects branching."""
+    nodes = []
+    node: TwigNode | None = twig.root
+    while node is not None:
+        nodes.append(node)
+        if len(node.children) > 1:
+            raise TwigError(
+                f"PathStack requires a linear path; {node.name!r} branches")
+        node = node.children[0] if node.children else None
+    return nodes
+
+
+def expand_chain(path: list[TwigNode],
+                 stacks: dict[str, list[tuple[XMLNode, int]]],
+                 leaf_node: XMLNode, leaf_pointer: int, *,
+                 stats: JoinStats | None = None
+                 ) -> list[tuple[XMLNode, ...]]:
+    """All root-to-leaf solutions ending at *leaf_node*.
+
+    ``stacks[q.name]`` holds (element, pointer-into-parent-stack) entries.
+    Entries below a pointer are ancestors of the pushed element; axis
+    constraints (in particular parent-child levels) are re-checked here.
+    Returned tuples are aligned with *path* (root first).
+    """
+    stats = ensure_stats(stats)
+    solutions: list[tuple[XMLNode, ...]] = []
+    chain: list[XMLNode] = [leaf_node]
+
+    def ascend(index: int, lower: XMLNode, pointer: int) -> None:
+        if index < 0:
+            solutions.append(tuple(reversed(chain)))
+            stats.count_emitted()
+            return
+        query_node = path[index]
+        lower_axis = path[index + 1].axis
+        stack = stacks[query_node.name]
+        for entry_index in range(min(pointer + 1, len(stack))):
+            node, parent_pointer = stack[entry_index]
+            stats.count_comparisons()
+            if lower_axis is Axis.CHILD and not is_parent(node, lower):
+                continue
+            if lower_axis is Axis.DESCENDANT and not is_ancestor(node, lower):
+                continue
+            chain.append(node)
+            ascend(index - 1, node, parent_pointer)
+            chain.pop()
+
+    ascend(len(path) - 2, leaf_node, leaf_pointer)
+    return solutions
+
+
+def path_stack(document: XMLDocument, twig: TwigQuery, *,
+               stats: JoinStats | None = None
+               ) -> list[tuple[XMLNode, ...]]:
+    """All matches of a path twig, as node tuples aligned root-to-leaf."""
+    stats = ensure_stats(stats)
+    path = path_nodes(twig)
+    streams = {q.name: TagStream.for_query_node(document, q) for q in path}
+    stacks: dict[str, list[tuple[XMLNode, int]]] = {q.name: [] for q in path}
+    solutions: list[tuple[XMLNode, ...]] = []
+    pushes = 0
+
+    def min_stream() -> TwigNode | None:
+        best: TwigNode | None = None
+        best_start = None
+        for query_node in path:
+            stream = streams[query_node.name]
+            if stream.eof():
+                continue
+            start = stream.head().start
+            if best_start is None or start < best_start:
+                best, best_start = query_node, start
+        return best
+
+    while True:
+        query_node = min_stream()
+        if query_node is None:
+            break
+        element = streams[query_node.name].head()
+        streams[query_node.name].advance()
+        # Pop every stack entry whose region ended before this element.
+        for other in path:
+            stack = stacks[other.name]
+            while stack and stack[-1][0].end < element.start:
+                stack.pop()
+        parent = query_node.parent
+        if parent is not None and not stacks[parent.name]:
+            continue  # cannot participate in any solution
+        pointer = len(stacks[parent.name]) - 1 if parent is not None else -1
+        if query_node is path[-1]:
+            # Leaves never stay on a stack: expand immediately.
+            stacks[query_node.name].append((element, pointer))
+            solutions.extend(
+                expand_chain(path, stacks, element, pointer, stats=stats))
+            stacks[query_node.name].pop()
+        else:
+            stacks[query_node.name].append((element, pointer))
+            pushes += 1
+    stats.record_stage("pathstack pushes", pushes)
+    return solutions
+
+
+def path_stack_relation(document: XMLDocument, twig: TwigQuery, *,
+                        stats: JoinStats | None = None):
+    """Value-tuple relation form of :func:`path_stack` (set semantics)."""
+    from repro.relational.relation import Relation
+
+    path = path_nodes(twig)
+    attrs = tuple(q.name for q in path)
+    rows = [tuple(node.value for node in solution)
+            for solution in path_stack(document, twig, stats=stats)]
+    return Relation(twig.name, attrs, rows)

@@ -1,0 +1,75 @@
+"""XML serialisation: the inverse of :mod:`repro.xml.parser`.
+
+Text and attribute values are escaped so serialise∘parse is the identity
+on the document model (up to insignificant whitespace when pretty-printing
+is enabled).
+"""
+
+from __future__ import annotations
+
+from repro.xml.model import XMLDocument, XMLNode
+
+
+def escape_text(text: str) -> str:
+    """Escape the characters that are markup in element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape for a double-quoted attribute value."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+def serialize(node_or_document: XMLNode | XMLDocument, *,
+              indent: int | None = None, declaration: bool = False) -> str:
+    """Serialise a node or document to XML text.
+
+    ``indent=None`` produces compact output that round-trips exactly;
+    an integer produces pretty-printed output (text-free elements only get
+    their children indented, elements with text stay on one line).
+    """
+    root = (node_or_document.root
+            if isinstance(node_or_document, XMLDocument) else node_or_document)
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent is None:
+            parts.append("")
+    _write(root, parts, indent, 0)
+    if indent is None:
+        return "".join(parts)
+    return "\n".join(parts) + "\n"
+
+
+def _open_tag(node: XMLNode, self_closing: bool) -> str:
+    attrs = "".join(f' {name}="{escape_attribute(value)}"'
+                    for name, value in node.attributes.items())
+    return f"<{node.tag}{attrs}{'/' if self_closing else ''}>"
+
+
+def _write(node: XMLNode, parts: list[str], indent: int | None,
+           depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    text = escape_text(node.text)
+    if not node.children and not text:
+        parts.append(pad + _open_tag(node, self_closing=True))
+        return
+    if not node.children:
+        parts.append(f"{pad}{_open_tag(node, False)}{text}</{node.tag}>")
+        return
+    if indent is None:
+        parts.append(_open_tag(node, False))
+        if text:
+            parts.append(text)
+        for child in node.children:
+            _write(child, parts, indent, depth + 1)
+        parts.append(f"</{node.tag}>")
+        return
+    # Pretty printing with children.
+    opening = pad + _open_tag(node, False)
+    if text:
+        opening += text
+    parts.append(opening)
+    for child in node.children:
+        _write(child, parts, indent, depth + 1)
+    parts.append(f"{pad}</{node.tag}>")

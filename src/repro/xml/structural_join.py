@@ -1,0 +1,117 @@
+"""Stack-tree structural joins (Al-Khalifa et al., ICDE 2002).
+
+The binary primitive of early XML query processors: given the nodes that
+match an ancestor (or parent) pattern and the nodes that match a
+descendant (or child) pattern, both in document order, emit all pairs
+related by the axis in one merge pass using a stack of nested ancestors.
+
+:func:`stack_tree_join` is the Stack-Tree-Desc variant (output sorted by
+descendant). :func:`structural_join_pipeline` chains binary joins along a
+twig's edges — the pre-holistic way to evaluate twigs, kept here as a
+baseline for the twig-algorithm benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.relation import Relation
+from repro.xml.encoding import is_ancestor, is_parent
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.streams import TagStream
+from repro.xml.twig import Axis, TwigQuery
+
+
+def stack_tree_join(ancestors: Sequence[XMLNode],
+                    descendants: Sequence[XMLNode], *,
+                    axis: Axis = Axis.DESCENDANT,
+                    stats: JoinStats | None = None
+                    ) -> list[tuple[XMLNode, XMLNode]]:
+    """All (ancestor, descendant) pairs satisfying *axis*.
+
+    Inputs must be in document order (as produced by
+    :meth:`XMLDocument.nodes`). Runs in O(|A| + |D| + |output|): the
+    Stack-Tree-Desc algorithm.
+    """
+    stats = ensure_stats(stats)
+    output: list[tuple[XMLNode, XMLNode]] = []
+    stack: list[XMLNode] = []
+    a_index = 0
+    for descendant in descendants:
+        # Pop finished ancestors (those that end before this descendant).
+        while stack and stack[-1].end < descendant.start:
+            stack.pop()
+        # Push all ancestors that start before this descendant.
+        while a_index < len(ancestors) and \
+                ancestors[a_index].start < descendant.start:
+            candidate = ancestors[a_index]
+            a_index += 1
+            stats.count_comparisons()
+            while stack and stack[-1].end < candidate.start:
+                stack.pop()
+            if candidate.end > descendant.start:
+                stack.append(candidate)
+        if not stack:
+            continue
+        if axis is Axis.DESCENDANT:
+            for ancestor in stack:
+                if is_ancestor(ancestor, descendant):
+                    output.append((ancestor, descendant))
+                    stats.count_emitted()
+        else:
+            # Parent-child: only the innermost stack entry can be the
+            # parent; check the level constraint.
+            ancestor = stack[-1]
+            if is_parent(ancestor, descendant):
+                output.append((ancestor, descendant))
+                stats.count_emitted()
+    return output
+
+
+def structural_join_pipeline(document: XMLDocument, twig: TwigQuery, *,
+                             stats: JoinStats | None = None) -> Relation:
+    """Evaluate a twig as a tree of binary structural joins.
+
+    Produces the same value-tuple relation as
+    :func:`repro.xml.navigation.match_relation`, but computes it the
+    pre-2002 way: one binary structural join per twig edge, stitched
+    together with relational joins on node identities. Each edge's pair
+    list is materialised, so intermediate results can far exceed the final
+    output — this is exactly the weakness holistic twig joins (and the
+    paper's XJoin) address.
+    """
+    stats = ensure_stats(stats)
+    streams = {qnode.name: TagStream.for_query_node(document, qnode).nodes
+               for qnode in twig.nodes()}
+    by_start: dict[int, XMLNode] = {
+        node.start: node  # type: ignore[dict-item]
+        for nodes in streams.values() for node in nodes}
+
+    # One relation of (parent_start, child_start) per twig edge; then join
+    # them all on the shared twig-node attributes. Node identity = start.
+    relations: list[Relation] = []
+    for upper, lower in twig.edges():
+        pairs = stack_tree_join(streams[upper.name], streams[lower.name],
+                                axis=lower.axis, stats=stats)
+        edge_relation = Relation(
+            f"{upper.name}->{lower.name}", (upper.name, lower.name),
+            [(a.start, d.start) for a, d in pairs])
+        stats.record_stage(edge_relation.name, len(edge_relation))
+        relations.append(edge_relation)
+
+    if not relations:  # single-node twig
+        only = twig.root
+        rows = [(node.value,) for node in streams[only.name]]
+        return Relation(twig.name, (only.name,), rows)
+
+    joined = relations[0]
+    for relation in relations[1:]:
+        joined = joined.natural_join(relation)
+        stats.record_stage(joined.name, len(joined))
+
+    attrs = twig.attributes
+    value_rows = []
+    for row in joined.project(attrs).rows:
+        value_rows.append(tuple(by_start[start].value for start in row))
+    return Relation(twig.name, attrs, value_rows)

@@ -1,0 +1,110 @@
+"""TJFast-style twig matching on extended Dewey labels (Lu et al. 2005).
+
+TJFast reads only the streams of the twig's *leaf* query nodes. The
+extended Dewey label of a leaf element encodes its entire root tag path
+(:class:`~repro.xml.dewey.ExtendedDeweyLabeler`), so the root-to-leaf
+query path can be matched against the label alone; the matched ancestor
+elements are then recovered from the Dewey prefixes. Finally the per-leaf
+path solutions are merged exactly like TwigStack's phase 2.
+
+This keeps the defining property of TJFast — internal query nodes consume
+no input streams — while deriving the label alphabet from the document
+instead of a DTD (see the module docstring of :mod:`repro.xml.dewey`).
+"""
+
+from __future__ import annotations
+
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.relation import Relation
+from repro.xml.dewey import ExtendedDeweyLabeler
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+from repro.xml.twigstack import merge_path_solutions
+
+
+def match_path_against_tags(path: list[TwigNode],
+                            tags: list[str]) -> list[tuple[int, ...]]:
+    """All assignments of query-path nodes to positions in a tag path.
+
+    ``tags`` is the root-to-leaf tag path of a document node (decoded from
+    its extended Dewey label). The query leaf must map to the last
+    position; the query root may map anywhere (twig matching is
+    existential over the document). P-C edges force consecutive
+    positions, A-D edges any forward gap. Returns position tuples aligned
+    with *path*.
+    """
+    solutions: list[tuple[int, ...]] = []
+    positions: list[int] = []
+    last = len(tags) - 1
+
+    def extend(query_index: int, from_position: int) -> None:
+        query_node = path[query_index]
+        is_last = query_index == len(path) - 1
+        if query_index == 0:
+            candidates = range(from_position, last + 1)
+        elif query_node.axis is Axis.CHILD:
+            candidates = range(from_position, from_position + 1)
+        else:
+            candidates = range(from_position, last + 1)
+        for position in candidates:
+            if position > last or tags[position] != query_node.tag:
+                continue
+            if is_last and position != last:
+                continue
+            positions.append(position)
+            if is_last:
+                solutions.append(tuple(positions))
+            else:
+                extend(query_index + 1, position + 1)
+            positions.pop()
+
+    extend(0, 0)
+    return solutions
+
+
+def tjfast_path_solutions(document: XMLDocument, twig: TwigQuery, *,
+                          labeler: ExtendedDeweyLabeler | None = None,
+                          stats: JoinStats | None = None
+                          ) -> dict[str, list[tuple[XMLNode, ...]]]:
+    """Per-leaf path solutions computed from leaf streams only."""
+    stats = ensure_stats(stats)
+    if labeler is None:
+        labeler = ExtendedDeweyLabeler(document)
+    solutions: dict[str, list[tuple[XMLNode, ...]]] = {}
+    for leaf in twig.leaves():
+        path = twig.root_to_node_path(leaf.name)
+        found: list[tuple[XMLNode, ...]] = []
+        for element, label in labeler.leaf_labels(leaf.tag):
+            stats.count_seeks()
+            if not leaf.matches_value(element.value):
+                continue
+            tags = labeler.decode(label)
+            ancestry = element.path_from_root()
+            for assignment in match_path_against_tags(path, tags):
+                nodes = tuple(ancestry[position] for position in assignment)
+                if all(q.matches_value(node.value)
+                       for q, node in zip(path, nodes)):
+                    found.append(nodes)
+                    stats.count_emitted()
+        solutions[leaf.name] = found
+        stats.record_stage(f"tjfast path solutions {leaf.name}", len(found))
+    return solutions
+
+
+def tjfast_embeddings(document: XMLDocument, twig: TwigQuery, *,
+                      stats: JoinStats | None = None
+                      ) -> list[dict[str, XMLNode]]:
+    """All embeddings of *twig* via TJFast."""
+    solutions = tjfast_path_solutions(document, twig, stats=stats)
+    return merge_path_solutions(twig, solutions, stats=stats)
+
+
+def tjfast(document: XMLDocument, twig: TwigQuery, *,
+           name: str | None = None,
+           stats: JoinStats | None = None) -> Relation:
+    """The twig's value-tuple answer computed by TJFast."""
+    embeddings = tjfast_embeddings(document, twig, stats=stats)
+    attrs = twig.attributes
+    rows = [tuple(embedding[a].value for a in attrs)
+            for embedding in embeddings]
+    return Relation(name or twig.name, attrs, rows)

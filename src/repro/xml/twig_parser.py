@@ -1,0 +1,111 @@
+"""A tiny pattern language for twig queries.
+
+Grammar::
+
+    twig   := node
+    node   := label ( '(' edge (',' edge)* ')' )?
+    edge   := ('/' | '//') node
+    label  := NAME ('=' NAME)?          # attribute name, optional tag
+
+Examples::
+
+    parse_twig("A(/B, /D, //C(/E), //F(/H), //G)")   # Figure 2's twig
+    parse_twig("order(/ISBN, /price)")
+    parse_twig("x=item(/y=price)")                    # name x binds tag item
+
+:func:`parse_twig` is inverse to :func:`repro.xml.twig.pattern_string`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TwigError
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:")
+
+
+class _Scanner:
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> TwigError:
+        return TwigError(f"{message} at offset {self.pos} in {self.text!r}")
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos: self.pos + 1]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def expect(self, token: str) -> None:
+        self.skip_space()
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def name(self) -> str:
+        self.skip_space()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start: self.pos]
+
+    def at_end(self) -> bool:
+        self.skip_space()
+        return self.pos >= len(self.text)
+
+
+def parse_twig(pattern: str, *, name: str = "X") -> TwigQuery:
+    """Parse *pattern* into a :class:`TwigQuery`."""
+    scanner = _Scanner(pattern)
+    root = _parse_node(scanner, parent=None, axis=Axis.CHILD)
+    if not scanner.at_end():
+        raise scanner.error("trailing input after twig pattern")
+    return TwigQuery(root, name=name)
+
+
+def _parse_label(scanner: _Scanner) -> tuple[str, str | None]:
+    attr = scanner.name()
+    if scanner.peek() == "=":
+        scanner.pos += 1
+        return attr, scanner.name()
+    return attr, None
+
+
+def _parse_node(scanner: _Scanner, parent: TwigNode | None,
+                axis: Axis) -> TwigNode:
+    attr, tag = _parse_label(scanner)
+    if parent is None:
+        node = TwigNode(attr, tag=tag, axis=axis)
+    else:
+        node = parent.add(attr, tag=tag, axis=axis)
+    scanner.skip_space()
+    if scanner.peek() == "(":
+        scanner.pos += 1
+        while True:
+            scanner.skip_space()
+            if scanner.startswith("//"):
+                scanner.pos += 2
+                _parse_node(scanner, node, Axis.DESCENDANT)
+            elif scanner.peek() == "/":
+                scanner.pos += 1
+                _parse_node(scanner, node, Axis.CHILD)
+            else:
+                raise scanner.error("expected '/' or '//' before a child")
+            scanner.skip_space()
+            if scanner.peek() == ",":
+                scanner.pos += 1
+                continue
+            scanner.expect(")")
+            break
+    return node

@@ -1,0 +1,177 @@
+"""TwigStack (Bruno, Koudas, Srivastava 2002): holistic twig matching.
+
+Phase 1 sweeps all query-node streams in document order, driven by
+``getNext``, pushing only elements that (provably, for A-D edges) extend
+to a full solution; complete root-to-leaf *path solutions* are expanded
+whenever a leaf is pushed. Phase 2 merge-joins the per-leaf path-solution
+lists on the shared branching query nodes.
+
+TwigStack is worst-case optimal for ancestor-descendant-only twigs; with
+parent-child edges it may produce useless path solutions — the classic
+limitation the paper cites ("optimal match in twig ancestor-descendant
+relationship but not in twig child-parent relationship").
+
+The merge phase deliberately reuses the relational engine: path solutions
+become relations over node identities (``start`` labels) and the merge is
+a natural join. This mirrors the paper's theme of treating tree data
+relationally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.operators import naive_multiway_join
+from repro.relational.relation import Relation
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.pathstack import expand_chain
+from repro.xml.streams import TagStream
+from repro.xml.twig import TwigNode, TwigQuery
+
+_INFINITY = math.inf
+
+
+def _head_start(stream: TagStream) -> float:
+    return _INFINITY if stream.eof() else stream.head().start  # type: ignore[return-value]
+
+
+def _head_end(stream: TagStream) -> float:
+    return _INFINITY if stream.eof() else stream.head().end  # type: ignore[return-value]
+
+
+def twig_stack_path_solutions(document: XMLDocument, twig: TwigQuery, *,
+                              stats: JoinStats | None = None
+                              ) -> dict[str, list[tuple[XMLNode, ...]]]:
+    """Phase 1: per-leaf path solutions (node tuples, root first)."""
+    stats = ensure_stats(stats)
+    query_nodes = twig.nodes()
+    streams = {q.name: TagStream.for_query_node(document, q)
+               for q in query_nodes}
+    stacks: dict[str, list[tuple[XMLNode, int]]] = {
+        q.name: [] for q in query_nodes}
+    solutions: dict[str, list[tuple[XMLNode, ...]]] = {
+        leaf.name: [] for leaf in twig.leaves()}
+    paths = {leaf.name: twig.root_to_node_path(leaf.name)
+             for leaf in twig.leaves()}
+
+    def drained(query_node: TwigNode) -> bool:
+        """All leaf streams in this query subtree are exhausted."""
+        if query_node.is_leaf:
+            return streams[query_node.name].eof()
+        return all(drained(child) for child in query_node.children)
+
+    def get_next(query_node: TwigNode) -> TwigNode:
+        """The query node whose stream head should be processed next.
+
+        Fully drained child subtrees are skipped for routing (they can
+        produce no further path solutions) but still count for the
+        extension check: once any child subtree is drained, new elements
+        of *query_node* are useless and its own stream is skipped ahead.
+        """
+        if query_node.is_leaf:
+            return query_node
+        active = [child for child in query_node.children
+                  if not drained(child)]
+        for child in active:
+            candidate = get_next(child)
+            if candidate is not child:
+                return candidate
+        # Extension check over ALL children: a drained child contributes
+        # +inf, draining this node's own stream (no new pushes possible).
+        max_start = max(_head_start(streams[child.name])
+                        for child in query_node.children)
+        own = streams[query_node.name]
+        while _head_end(own) < max_start:
+            own.advance()
+            stats.count_seeks()
+        if not active:
+            return query_node
+        n_min = min(active,
+                    key=lambda child: _head_start(streams[child.name]))
+        if _head_start(own) < _head_start(streams[n_min.name]):
+            return query_node
+        return n_min
+
+    while not drained(twig.root):
+        acting = get_next(twig.root)
+        stream = streams[acting.name]
+        if stream.eof():
+            break  # defensive: routing found no processable stream
+        element = stream.head()
+        stream.advance()
+
+        def clean(stack: list[tuple[XMLNode, int]]) -> None:
+            # Pop entries whose region ended before this element. Only the
+            # acting node's and its parent's stacks are cleaned (branches
+            # progress at different document positions, so cleaning *all*
+            # stacks here would evict entries a lagging branch still
+            # needs); expand_chain re-checks axes, so entries left stale
+            # in other stacks can never produce wrong solutions.
+            while stack and stack[-1][0].end < element.start:
+                stack.pop()
+
+        parent = acting.parent
+        if parent is not None:
+            clean(stacks[parent.name])
+        clean(stacks[acting.name])
+        if parent is not None and not stacks[parent.name]:
+            stats.count_filtered()
+            continue
+        pointer = len(stacks[parent.name]) - 1 if parent is not None else -1
+        stacks[acting.name].append((element, pointer))
+        if acting.is_leaf:
+            path = paths[acting.name]
+            solutions[acting.name].extend(
+                expand_chain(path, stacks, element, pointer, stats=stats))
+            stacks[acting.name].pop()
+
+    for leaf_name, tuples in solutions.items():
+        stats.record_stage(f"path solutions {leaf_name}", len(tuples))
+    return solutions
+
+
+def merge_path_solutions(twig: TwigQuery,
+                         solutions: dict[str, list[tuple[XMLNode, ...]]], *,
+                         stats: JoinStats | None = None
+                         ) -> list[dict[str, XMLNode]]:
+    """Phase 2: join per-leaf path solutions into full twig embeddings."""
+    stats = ensure_stats(stats)
+    by_start: dict[int, XMLNode] = {}
+    relations: list[Relation] = []
+    for leaf in twig.leaves():
+        path = twig.root_to_node_path(leaf.name)
+        attrs = tuple(q.name for q in path)
+        rows = []
+        for solution in solutions.get(leaf.name, ()):
+            for node in solution:
+                by_start[node.start] = node  # type: ignore[index]
+            rows.append(tuple(node.start for node in solution))
+        relations.append(Relation(f"path:{leaf.name}", attrs, rows))
+
+    joined = naive_multiway_join(relations, name="twig")
+    stats.record_stage("merged embeddings", len(joined))
+    attrs = joined.schema.attributes
+    return [
+        {name: by_start[start] for name, start in zip(attrs, row)}
+        for row in joined.rows
+    ]
+
+
+def twig_stack_embeddings(document: XMLDocument, twig: TwigQuery, *,
+                          stats: JoinStats | None = None
+                          ) -> list[dict[str, XMLNode]]:
+    """All embeddings of *twig* via TwigStack (phases 1 + 2)."""
+    solutions = twig_stack_path_solutions(document, twig, stats=stats)
+    return merge_path_solutions(twig, solutions, stats=stats)
+
+
+def twig_stack(document: XMLDocument, twig: TwigQuery, *,
+               name: str | None = None,
+               stats: JoinStats | None = None) -> Relation:
+    """The twig's value-tuple answer computed by TwigStack."""
+    embeddings = twig_stack_embeddings(document, twig, stats=stats)
+    attrs = twig.attributes
+    rows = [tuple(embedding[a].value for a in attrs)
+            for embedding in embeddings]
+    return Relation(name or twig.name, attrs, rows)

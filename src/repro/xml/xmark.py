@@ -1,0 +1,91 @@
+"""An XMark-flavoured auction-site document generator.
+
+XMark is the standard XML benchmark schema (an auction site with regions,
+items, people and auctions). The real generator is a C program with
+Shakespearean text; this is a compact, deterministic reimplementation of
+its *structure* — the part twig joins care about — sized by a scale
+parameter, used to give the twig-matching and multi-model benchmarks a
+realistic document shape (deep paths, repeated tags, skewed fan-out).
+
+Structure::
+
+    site
+    ├── regions ── <region>* ── item* ── (name, incategory*, payment)
+    ├── people ── person* ── (name, emailaddress, profile(interest*))
+    └── open_auctions ── open_auction* ── (itemref, bidder*(personref,
+                                           increase), current)
+
+``itemref``/``personref``/``incategory``/``interest`` carry integer ids in
+their text, so multi-model queries can join auctions to a relational
+table of, say, category labels or user accounts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xml.model import XMLDocument, XMLNode
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+@dataclass(frozen=True)
+class XMarkScale:
+    """Entity counts derived from a scale factor."""
+
+    items: int
+    people: int
+    auctions: int
+    categories: int
+
+    @classmethod
+    def from_factor(cls, factor: float) -> "XMarkScale":
+        base = max(int(factor * 100), 1)
+        return cls(items=base, people=max(base // 2, 1),
+                   auctions=max(base // 2, 1),
+                   categories=max(base // 10, 1))
+
+
+def xmark_document(factor: float = 0.1, *, seed: int = 0) -> XMLDocument:
+    """Generate an XMark-shaped document at the given scale factor."""
+    rng = random.Random(seed)
+    scale = XMarkScale.from_factor(factor)
+    site = XMLNode("site")
+
+    regions = site.add("regions")
+    region_nodes = [regions.add(region) for region in REGIONS]
+    for item_id in range(scale.items):
+        region = region_nodes[rng.randrange(len(region_nodes))]
+        item = region.add("item", attributes={"id": f"item{item_id}"})
+        item.add("name", text=f"item-{item_id}")
+        for _ in range(rng.randint(1, 3)):
+            item.add("incategory",
+                     text=str(rng.randrange(scale.categories)))
+        payment = item.add("payment")
+        payment.add("method", text=rng.choice(
+            ("cash", "creditcard", "transfer")))
+
+    people = site.add("people")
+    for person_id in range(scale.people):
+        person = people.add("person",
+                            attributes={"id": f"person{person_id}"})
+        person.add("name", text=f"person-{person_id}")
+        person.add("emailaddress", text=f"p{person_id}@example.org")
+        profile = person.add("profile")
+        for _ in range(rng.randint(0, 3)):
+            profile.add("interest",
+                        text=str(rng.randrange(scale.categories)))
+
+    open_auctions = site.add("open_auctions")
+    for auction_id in range(scale.auctions):
+        auction = open_auctions.add(
+            "open_auction", attributes={"id": f"auction{auction_id}"})
+        auction.add("itemref", text=str(rng.randrange(scale.items)))
+        for _ in range(rng.randint(0, 4)):
+            bidder = auction.add("bidder")
+            bidder.add("personref", text=str(rng.randrange(scale.people)))
+            bidder.add("increase", text=str(rng.randint(1, 50)))
+        auction.add("current", text=str(rng.randint(10, 500)))
+
+    return XMLDocument(site)

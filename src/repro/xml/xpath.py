@@ -1,0 +1,111 @@
+"""A small XPath subset compiled to twig queries.
+
+Supported grammar (the navigational fragment twig joins understand)::
+
+    path      := ('/' | '//') step ( ('/' | '//') step )*
+    step      := NAME predicate*
+    predicate := '[' rel-path ']'
+    rel-path  := ('.')? ('/' | '//') step ... | step ...
+
+Examples::
+
+    parse_xpath("//A[B][.//C/E]//G")
+    parse_xpath("/invoices/orderLine[ISBN]/price")
+
+The leading axis of the outermost path describes how the twig root relates
+to the *document*: twig matching is existential over the whole document,
+so ``//A`` and ``/A`` differ only in that ``/A`` requires the match to be
+the document root; :func:`parse_xpath` records this in
+:attr:`XPathQuery.absolute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TwigError
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:")
+
+
+@dataclass(frozen=True)
+class XPathQuery:
+    """A compiled XPath: the equivalent twig plus the root-axis flag."""
+
+    twig: TwigQuery
+    absolute: bool
+
+
+def parse_xpath(path: str, *, name: str = "X") -> XPathQuery:
+    """Compile an XPath expression (see module docstring) to a twig."""
+    text = path.strip()
+    if not text:
+        raise TwigError("empty XPath expression")
+    pos = 0
+    counter = [0]
+
+    def take_name() -> str:
+        nonlocal pos
+        start = pos
+        while pos < len(text) and text[pos] in _NAME_CHARS:
+            pos += 1
+        if pos == start:
+            raise TwigError(f"expected a name at offset {pos} in {path!r}")
+        return text[start:pos]
+
+    def take_axis(default: Axis | None = None) -> Axis:
+        nonlocal pos
+        if text.startswith("//", pos):
+            pos += 2
+            return Axis.DESCENDANT
+        if text.startswith("/", pos):
+            pos += 1
+            return Axis.CHILD
+        if default is not None:
+            return default
+        raise TwigError(f"expected '/' or '//' at offset {pos} in {path!r}")
+
+    def parse_steps(parent: TwigNode | None, first_axis: Axis) -> TwigNode:
+        """Parse step ('/' step)* attaching under *parent*; returns the
+        first node created (the subtree hook)."""
+        nonlocal pos
+        axis = first_axis
+        head: TwigNode | None = None
+        current = parent
+        while True:
+            tag = take_name()
+            node_name = f"{tag}@{counter[0]}"
+            counter[0] += 1
+            if current is None:
+                node = TwigNode(node_name, tag=tag, axis=axis)
+            else:
+                node = current.add(node_name, tag=tag, axis=axis)
+            if head is None:
+                head = node
+            # predicates
+            while pos < len(text) and text[pos] == "[":
+                pos += 1
+                if text.startswith(".", pos):
+                    pos += 1
+                pred_axis = take_axis(default=Axis.CHILD)
+                parse_steps(node, pred_axis)
+                if pos >= len(text) or text[pos] != "]":
+                    raise TwigError(
+                        f"unterminated predicate at offset {pos} in {path!r}")
+                pos += 1
+            current = node
+            if pos < len(text) and text[pos] == "/":
+                axis = take_axis()
+                continue
+            return head
+
+    absolute = not text.startswith("//")
+    first_axis = take_axis(default=Axis.DESCENDANT)
+    root = parse_steps(None, first_axis)
+    if pos != len(text):
+        raise TwigError(f"trailing input at offset {pos} in {path!r}")
+    # Rebase: the twig root's own axis is only meaningful vs. the document.
+    query = TwigQuery(root, name=name)
+    return XPathQuery(twig=query, absolute=absolute)

@@ -1,0 +1,226 @@
+"""Tests for hypergraphs and the AGM bound machinery."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agm import (
+    agm_bound,
+    fractional_edge_cover,
+    symbolic_exponent,
+    verify_cover,
+    verify_packing,
+    vertex_packing,
+)
+from repro.core.hypergraph import Hyperedge, Hypergraph
+from repro.errors import QueryError
+from repro.relational.leapfrog import leapfrog_triejoin
+from repro.relational.relation import Relation
+
+
+def triangle_graph(n=None):
+    g = Hypergraph()
+    g.add_edge("R", ["a", "b"], cardinality=n)
+    g.add_edge("S", ["b", "c"], cardinality=n)
+    g.add_edge("T", ["a", "c"], cardinality=n)
+    return g
+
+
+class TestHypergraph:
+    def test_vertices_first_appearance_order(self):
+        g = triangle_graph()
+        assert g.vertices == ("a", "b", "c")
+
+    def test_edge_lookup(self):
+        g = triangle_graph()
+        assert g.edge("R").vertices == frozenset({"a", "b"})
+        with pytest.raises(QueryError):
+            g.edge("Z")
+
+    def test_duplicate_edge_name_rejected(self):
+        g = triangle_graph()
+        with pytest.raises(QueryError):
+            g.add_edge("R", ["x"])
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(QueryError):
+            Hyperedge("E", frozenset())
+
+    def test_edges_covering(self):
+        g = triangle_graph()
+        assert {e.name for e in g.edges_covering("a")} == {"R", "T"}
+
+    def test_with_cardinalities(self):
+        g = triangle_graph().with_cardinalities({"R": 5})
+        assert g.edge("R").cardinality == 5
+        assert g.edge("S").cardinality is None
+
+    def test_cardinalities_requires_all(self):
+        with pytest.raises(QueryError):
+            triangle_graph().cardinalities()
+        assert triangle_graph(4).cardinalities() == {
+            "R": 4, "S": 4, "T": 4}
+
+    def test_empty_graph_rejected_by_bounds(self):
+        with pytest.raises(QueryError):
+            fractional_edge_cover(Hypergraph())
+
+
+class TestFractionalEdgeCover:
+    def test_triangle_exponent_is_three_halves(self):
+        cover = fractional_edge_cover(triangle_graph())
+        assert cover.total == Fraction(3, 2)
+        assert all(w == Fraction(1, 2) for w in cover.weights.values())
+
+    def test_chain_exponent(self):
+        # R(a,b)-S(b,c): cover must take both edges fully? No: b shared;
+        # a needs R, c needs S -> total 2.
+        g = Hypergraph()
+        g.add_edge("R", ["a", "b"])
+        g.add_edge("S", ["b", "c"])
+        assert symbolic_exponent(g) == 2
+
+    def test_single_edge(self):
+        g = Hypergraph()
+        g.add_edge("R", ["a", "b", "c"])
+        assert symbolic_exponent(g) == 1
+
+    def test_support_filters_zeros(self):
+        g = Hypergraph()
+        g.add_edge("R", ["a"])
+        g.add_edge("S", ["a"])
+        cover = fractional_edge_cover(g)
+        assert cover.total == 1
+        assert len(cover.support()) == 1
+
+    def test_weighted_cover_prefers_small_relation(self):
+        g = Hypergraph()
+        g.add_edge("BIG", ["a"], cardinality=1000)
+        g.add_edge("SMALL", ["a"], cardinality=2)
+        bound = agm_bound(g)
+        assert bound.cover.support().keys() == {"SMALL"}
+        assert bound.bound == pytest.approx(2.0)
+
+    def test_paper_example33_exponents(self):
+        """Figure 2 / Example 3.3: twig bound n^5, query bound n^{7/2}."""
+        twig_only = Hypergraph()
+        for name, attrs in [("R3", "AB"), ("R4", "AD"), ("R5", "CE"),
+                            ("R6", "FH"), ("R7", "G")]:
+            twig_only.add_edge(name, list(attrs))
+        assert symbolic_exponent(twig_only) == 5
+
+        full = Hypergraph()
+        full.add_edge("R1", ["B", "D"])
+        full.add_edge("R2", ["F", "G", "H"])
+        for name, attrs in [("R3", "AB"), ("R4", "AD"), ("R5", "CE"),
+                            ("R6", "FH"), ("R7", "G")]:
+            full.add_edge(name, list(attrs))
+        assert symbolic_exponent(full) == Fraction(7, 2)
+
+    def test_paper_example34_exponents(self):
+        """Example 3.4: Q, Q1, Q2 bounds are n^2, n^2, n^5."""
+        full = Hypergraph()
+        full.add_edge("R1", ["A", "B", "C", "D"])
+        full.add_edge("R2", ["E", "F", "G", "H"])
+        for name, attrs in [("R3", "AB"), ("R4", "AD"), ("R5", "CE"),
+                            ("R6", "FH"), ("R7", "G")]:
+            full.add_edge(name, list(attrs))
+        assert symbolic_exponent(full) == 2
+
+        q1 = Hypergraph()
+        q1.add_edge("R1", ["A", "B", "C", "D"])
+        q1.add_edge("R2", ["E", "F", "G", "H"])
+        assert symbolic_exponent(q1) == 2
+
+
+class TestVertexPackingDuality:
+    def test_triangle_packing(self):
+        packing = vertex_packing(triangle_graph())
+        assert packing.total == Fraction(3, 2)
+
+    def test_duality_equals_cover(self):
+        g = triangle_graph()
+        assert vertex_packing(g).total == fractional_edge_cover(g).total
+
+    def test_certificates_verify(self):
+        g = triangle_graph()
+        assert verify_cover(g, fractional_edge_cover(g).weights)
+        assert verify_packing(g, vertex_packing(g).weights)
+
+    def test_verify_rejects_bad_certificates(self):
+        g = triangle_graph()
+        assert not verify_cover(g, {"R": Fraction(1, 2)})
+        assert not verify_packing(
+            g, {"a": Fraction(1), "b": Fraction(1), "c": Fraction(0)})
+
+
+def random_hypergraph():
+    def build(edge_sets):
+        g = Hypergraph()
+        for index, vertices in enumerate(edge_sets):
+            g.add_edge(f"E{index}", [f"v{v}" for v in vertices])
+        return g
+
+    return st.builds(build, st.lists(
+        st.sets(st.integers(0, 4), min_size=1, max_size=4),
+        min_size=1, max_size=5))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_hypergraph())
+def test_duality_on_random_hypergraphs(graph):
+    """Equation 1's optimum always equals the primal cover optimum."""
+    cover = fractional_edge_cover(graph)
+    packing = vertex_packing(graph)
+    assert cover.total == packing.total
+    assert verify_cover(graph, cover.weights)
+    assert verify_packing(graph, packing.weights)
+
+
+class TestAGMInstanceBound:
+    def test_zero_cardinality_gives_zero_bound(self):
+        g = Hypergraph()
+        g.add_edge("R", ["a"], cardinality=0)
+        assert agm_bound(g).bound == 0
+
+    def test_missing_cardinality_raises(self):
+        g = Hypergraph()
+        g.add_edge("R", ["a"])
+        with pytest.raises(QueryError):
+            agm_bound(g)
+
+    def test_negative_cardinality_raises(self):
+        g = Hypergraph()
+        g.add_edge("R", ["a"], cardinality=-1)
+        with pytest.raises(QueryError):
+            agm_bound(g)
+
+    def test_bound_ceiling_absorbs_float_noise(self):
+        g = Hypergraph()
+        g.add_edge("R", ["a", "b"], cardinality=10)
+        g.add_edge("S", ["b", "c"], cardinality=10)
+        assert agm_bound(g).bound_ceiling == 100
+
+    def test_triangle_instance_bound(self):
+        bound = agm_bound(triangle_graph(100))
+        assert bound.bound == pytest.approx(1000.0)  # n^{3/2}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+)
+def test_agm_bound_dominates_actual_join_size(r_rows, s_rows, t_rows):
+    """Lemma 3.1's relational core: |Q| <= AGM bound, on random triangles."""
+    r = Relation("R", ("a", "b"), r_rows)
+    s = Relation("S", ("b", "c"), s_rows)
+    t = Relation("T", ("a", "c"), t_rows)
+    graph = triangle_graph().with_cardinalities(
+        {"R": len(r), "S": len(s), "T": len(t)})
+    bound = agm_bound(graph)
+    actual = len(leapfrog_triejoin([r, s, t], ("a", "b", "c")))
+    assert actual <= bound.bound_ceiling

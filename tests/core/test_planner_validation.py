@@ -1,0 +1,141 @@
+"""Tests for attribute-order planning and twig structure validation."""
+
+import pytest
+
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.core.planner import (
+    appearance_order,
+    attribute_order,
+    connected_order,
+    domain_order,
+)
+from repro.core.validation import PartialStructureValidator, StructureValidator
+from repro.data.synthetic import example34_instance
+from repro.errors import PlanError
+from repro.instrumentation import JoinStats
+from repro.relational.relation import Relation
+from repro.xml.model import XMLDocument, element
+from repro.xml.twig_parser import parse_twig
+
+
+@pytest.fixture
+def instance():
+    return example34_instance(3)
+
+
+class TestPlanner:
+    def test_appearance_order(self, instance):
+        order = appearance_order(instance.query)
+        assert order == ("A", "B", "C", "D", "E", "F", "G", "H")
+
+    def test_domain_order_is_permutation(self, instance):
+        order = domain_order(instance.query)
+        assert sorted(order) == sorted(instance.query.attributes)
+        # A has domain {0}: it must come first.
+        assert order[0] == "A"
+
+    def test_connected_order_is_permutation(self, instance):
+        order = connected_order(instance.query)
+        assert sorted(order) == sorted(instance.query.attributes)
+
+    def test_connected_order_stays_connected(self, instance):
+        order = connected_order(instance.query)
+        graph = instance.query.hypergraph(with_cardinalities=False)
+        bound = {order[0]}
+        for attribute in order[1:]:
+            touches = any(
+                bound & set(edge.vertices)
+                for edge in graph.edges_covering(attribute))
+            assert touches, f"{attribute} expanded disconnected"
+            bound.add(attribute)
+
+    def test_attribute_order_dispatch(self, instance):
+        assert attribute_order(instance.query) == \
+            appearance_order(instance.query)
+        assert attribute_order(instance.query, "domain") == \
+            domain_order(instance.query)
+        explicit = tuple(reversed(instance.query.attributes))
+        assert attribute_order(instance.query, explicit) == explicit
+
+    def test_bad_policy_raises(self, instance):
+        with pytest.raises(PlanError):
+            attribute_order(instance.query, "alphabetical")
+
+    def test_incomplete_explicit_order_raises(self, instance):
+        with pytest.raises(PlanError):
+            attribute_order(instance.query, ("A",))
+
+    def test_connected_order_handles_disconnected_queries(self):
+        r = Relation("R", ("a",), [(1,)])
+        s = Relation("S", ("z",), [(2,)])
+        query = MultiModelQuery([r, s])
+        assert sorted(connected_order(query)) == ["a", "z"]
+
+
+def branch_document():
+    root = element("r")
+    a1 = element("a", element("b", text="10"), text="1")
+    a2 = element("a", text="2")
+    root.append(a1)
+    root.append(a2)
+    return XMLDocument(root)
+
+
+class TestStructureValidator:
+    def test_accepts_real_embedding(self):
+        doc = branch_document()
+        twig = parse_twig("a(//b)")
+        validator = StructureValidator(doc, twig)
+        assert validator.validate({"a": 1, "b": 10})
+
+    def test_rejects_value_mix(self):
+        doc = branch_document()
+        twig = parse_twig("a(//b)")
+        validator = StructureValidator(doc, twig)
+        assert not validator.validate({"a": 2, "b": 10})
+
+    def test_pc_vs_ad_distinction(self):
+        doc = branch_document()
+        pc_twig = parse_twig("r(/b)")
+        validator = StructureValidator(doc, pc_twig)
+        assert not validator.validate({"r": None, "b": 10})
+        ad_twig = parse_twig("r(//b)")
+        validator = StructureValidator(doc, ad_twig)
+        assert validator.validate({"r": None, "b": 10})
+
+    def test_memoisation(self):
+        doc = branch_document()
+        validator = StructureValidator(doc, parse_twig("a(//b)"))
+        validator.validate({"a": 1, "b": 10})
+        validator.validate({"a": 1, "b": 10})
+        assert validator.cache_size == 1
+
+    def test_filter_counted_in_stats(self):
+        doc = branch_document()
+        validator = StructureValidator(doc, parse_twig("a(//b)"))
+        stats = JoinStats()
+        validator.validate({"a": 2, "b": 10}, stats=stats)
+        assert stats.filtered == 1
+
+
+class TestPartialStructureValidator:
+    def test_partial_subset_sound(self):
+        doc = branch_document()
+        twig = parse_twig("a(//b)")
+        validator = PartialStructureValidator(doc, twig)
+        # binding only 'a': both a-values embed (a=1 has b below; a=2 has
+        # no b at all so the full twig cannot embed).
+        assert validator.validate_subset({"a": 1})
+        assert not validator.validate_subset({"a": 2})
+
+    def test_empty_subset_checks_satisfiability(self):
+        doc = branch_document()
+        validator = PartialStructureValidator(doc, parse_twig("a(//zz)"))
+        assert not validator.validate_subset({})
+
+    def test_caches_by_bound_set_and_values(self):
+        doc = branch_document()
+        validator = PartialStructureValidator(doc, parse_twig("a(//b)"))
+        assert validator.validate_subset({"b": 10})
+        assert validator.validate_subset({"b": 10})
+        assert not validator.validate_subset({"b": 99})

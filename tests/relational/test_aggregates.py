@@ -1,0 +1,129 @@
+"""Tests for grouping and aggregation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.aggregates import (
+    agg_avg,
+    agg_count,
+    agg_count_distinct,
+    agg_max,
+    agg_min,
+    agg_sum,
+    group_by,
+    order_by,
+    summarize,
+    top_k,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def sales():
+    return Relation("sales", ("cat", "item", "price"), [
+        ("a", "pen", 10), ("a", "ink", 20), ("a", "pen", 30),
+        ("b", "mug", 5),
+    ])
+
+
+class TestGroupBy:
+    def test_sum(self, sales):
+        out = group_by(sales, ["cat"], {"total": agg_sum("price")})
+        assert set(out) == {("a", 60), ("b", 5)}
+
+    def test_count(self, sales):
+        out = group_by(sales, ["cat"], {"n": agg_count()})
+        assert set(out) == {("a", 3), ("b", 1)}
+
+    def test_count_distinct(self, sales):
+        out = group_by(sales, ["cat"],
+                       {"items": agg_count_distinct("item")})
+        assert set(out) == {("a", 2), ("b", 1)}
+
+    def test_min_max(self, sales):
+        out = group_by(sales, ["cat"], {"lo": agg_min("price"),
+                                        "hi": agg_max("price")})
+        assert set(out) == {("a", 10, 30), ("b", 5, 5)}
+
+    def test_avg(self, sales):
+        out = group_by(sales, ["cat"], {"mean": agg_avg("price")})
+        assert set(out) == {("a", 20.0), ("b", 5.0)}
+
+    def test_multiple_keys(self, sales):
+        out = group_by(sales, ["cat", "item"], {"n": agg_count()})
+        assert ("a", "pen", 2) in out
+
+    def test_empty_keys_like_summarize_but_empty_on_empty(self):
+        empty = Relation("E", ("x",))
+        assert len(group_by(empty, [], {"n": agg_count()})) == 0
+
+    def test_schema(self, sales):
+        out = group_by(sales, ["cat"], {"total": agg_sum("price")})
+        assert out.schema.attributes == ("cat", "total")
+
+    def test_unknown_key_raises(self, sales):
+        with pytest.raises(SchemaError):
+            group_by(sales, ["zzz"], {"n": agg_count()})
+
+
+class TestSummarize:
+    def test_one_row(self, sales):
+        out = summarize(sales, {"n": agg_count(), "hi": agg_max("price")})
+        assert set(out) == {(4, 30)}
+
+    def test_empty_count_is_zero(self):
+        empty = Relation("E", ("x",))
+        assert set(summarize(empty, {"n": agg_count()})) == {(0,)}
+
+    def test_empty_min_raises(self):
+        empty = Relation("E", ("x",))
+        with pytest.raises(ValueError):
+            summarize(empty, {"lo": agg_min("x")})
+
+
+class TestOrderByTopK:
+    def test_order_ascending(self, sales):
+        ordered = order_by(sales, ["price"])
+        assert [row[2] for row in ordered] == [5, 10, 20, 30]
+
+    def test_order_descending(self, sales):
+        ordered = order_by(sales, ["price"], descending=True)
+        assert ordered[0][2] == 30
+
+    def test_limit(self, sales):
+        assert len(order_by(sales, ["price"], limit=2)) == 2
+
+    def test_deterministic_tie_break(self):
+        r = Relation("R", ("k", "v"), [(1, "b"), (1, "a")])
+        assert order_by(r, ["k"]) == [(1, "a"), (1, "b")]
+
+    def test_top_k(self, sales):
+        top = top_k(sales, "price", 2)
+        assert [row[2] for row in top] == [30, 20]
+
+    def test_top_k_larger_than_relation(self, sales):
+        assert len(top_k(sales, "price", 99)) == 4
+
+    def test_top_k_negative_raises(self, sales):
+        with pytest.raises(SchemaError):
+            top_k(sales, "price", -1)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(-10, 10)),
+                max_size=30))
+def test_group_sum_matches_python(pairs):
+    r = Relation("R", ("k", "v"), pairs)
+    out = group_by(r, ["k"], {"s": agg_sum("v")})
+    expected = {}
+    for k, v in set(pairs):  # set semantics!
+        expected[k] = expected.get(k, 0) + v
+    assert set(out) == {(k, s) for k, s in expected.items()}
+
+
+@given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=25))
+def test_count_partitions_cardinality(rows):
+    r = Relation("R", ("k", "v"), rows)
+    out = group_by(r, ["k"], {"n": agg_count()})
+    assert sum(row[1] for row in out) == len(r)

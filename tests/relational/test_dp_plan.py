@@ -1,0 +1,80 @@
+"""Tests for the Selinger-style DP join optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.instrumentation import JoinStats
+from repro.relational.operators import naive_multiway_join
+from repro.relational.plans import dp_plan, execute_plan, greedy_plan
+from repro.relational.relation import Relation
+
+
+def chain_db(sizes):
+    """R0(a0,a1) - R1(a1,a2) - ... with the given cardinalities."""
+    db = {}
+    for index, size in enumerate(sizes):
+        rows = [(i % max(size, 1), i) for i in range(size)]
+        db[f"R{index}"] = Relation(
+            f"R{index}", (f"a{index}", f"a{index + 1}"), rows)
+    return db
+
+
+class TestDPPlan:
+    def test_covers_all_leaves(self):
+        db = chain_db([4, 4, 4])
+        assert sorted(dp_plan(db).leaves()) == ["R0", "R1", "R2"]
+
+    def test_empty_raises(self):
+        with pytest.raises(PlanError):
+            dp_plan({})
+
+    def test_single_relation(self):
+        db = chain_db([3])
+        plan = dp_plan(db)
+        assert plan.is_leaf and plan.relation == "R0"
+
+    def test_result_correct(self):
+        db = chain_db([4, 5, 6])
+        expected = naive_multiway_join(list(db.values()))
+        out = execute_plan(dp_plan(db), db)
+        assert out.project(expected.schema.attributes) == expected
+
+    def test_prefers_selective_start(self):
+        """DP should join the two tiny relations before the huge one."""
+        db = {
+            "BIG": Relation("BIG", ("a", "b"),
+                            [(i, j) for i in range(20) for j in range(20)]),
+            "S1": Relation("S1", ("a",), [(0,), (1,)]),
+            "S2": Relation("S2", ("b",), [(0,)]),
+        }
+        dp_stats, greedy_stats = JoinStats(), JoinStats()
+        execute_plan(dp_plan(db), db, stats=dp_stats)
+        execute_plan(greedy_plan(db), db, stats=greedy_stats)
+        assert dp_stats.max_intermediate <= greedy_stats.max_intermediate
+
+    def test_handles_disconnected_queries(self):
+        db = {
+            "R": Relation("R", ("a",), [(1,), (2,)]),
+            "S": Relation("S", ("z",), [(9,)]),
+        }
+        out = execute_plan(dp_plan(db), db)
+        assert len(out) == 2
+
+    def test_baseline_dp_policy(self):
+        from repro.core.baseline import baseline_join
+        from repro.data.synthetic import example33_instance
+        instance = example33_instance(2)
+        assert baseline_join(instance.query, plan="dp") == \
+            baseline_join(instance.query)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(1, 8), min_size=1, max_size=4))
+def test_dp_matches_greedy_result_on_random_chains(sizes):
+    db = chain_db(sizes)
+    dp_out = execute_plan(dp_plan(db), db)
+    greedy_out = execute_plan(greedy_plan(db), db)
+    attrs = dp_out.schema.attributes
+    assert dp_out == greedy_out.project(attrs)

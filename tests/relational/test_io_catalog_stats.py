@@ -1,0 +1,144 @@
+"""Tests for CSV I/O, the catalog, and statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError, RelationError
+from repro.relational.catalog import Database
+from repro.relational.csvio import (
+    parse_value,
+    read_csv,
+    relation_from_csv,
+    relation_to_csv,
+    write_csv,
+)
+from repro.relational.relation import Relation
+from repro.relational.statistics import column_stats, relation_stats
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("42") == 42
+
+    def test_negative_int(self):
+        assert parse_value("-7") == -7
+
+    def test_float(self):
+        assert parse_value("2.5") == 2.5
+
+    def test_string(self):
+        assert parse_value("978-3-16-1") == "978-3-16-1"
+
+    def test_empty_string(self):
+        assert parse_value("") == ""
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_simple(self):
+        r = Relation("R", ("a", "b"), [(1, "x"), (2, "y")])
+        assert relation_from_csv("R", relation_to_csv(r)) == r
+
+    def test_header_only(self):
+        r = Relation("R", ("a", "b"))
+        assert relation_from_csv("R", relation_to_csv(r)) == r
+
+    def test_empty_text_raises(self):
+        with pytest.raises(RelationError):
+            relation_from_csv("R", "")
+
+    def test_file_roundtrip(self, tmp_path):
+        r = Relation("R", ("userID", "ISBN"), [("jack", "978-3-16-1")])
+        path = tmp_path / "r.csv"
+        write_csv(r, path)
+        assert read_csv("R", path) == r
+
+    @given(st.sets(st.tuples(st.integers(-50, 50),
+                             st.text(alphabet="abcxyz", max_size=4)),
+                   max_size=20))
+    def test_roundtrip_random(self, rows):
+        r = Relation("R", ("n", "s"), rows)
+        assert relation_from_csv("R", relation_to_csv(r)) == r
+
+
+class TestDatabase:
+    def test_add_and_get(self):
+        db = Database()
+        r = Relation("R", ("a",), [(1,)])
+        db.add(r)
+        assert db["R"] is r
+
+    def test_add_duplicate_raises(self):
+        db = Database([Relation("R", ("a",))])
+        with pytest.raises(QueryError):
+            db.add(Relation("R", ("a",)))
+
+    def test_replace(self):
+        db = Database([Relation("R", ("a",))])
+        replacement = Relation("R", ("a",), [(1,)])
+        db.add(replacement, replace=True)
+        assert len(db["R"]) == 1
+
+    def test_remove(self):
+        db = Database([Relation("R", ("a",))])
+        db.remove("R")
+        assert "R" not in db
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(QueryError):
+            Database().remove("R")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(QueryError):
+            Database()["nope"]
+
+    def test_iteration_and_names(self):
+        db = Database([Relation("R", ("a",)), Relation("S", ("b",))])
+        assert db.names == ("R", "S")
+        assert len(db) == 2
+        assert {r.name for r in db} == {"R", "S"}
+
+    def test_relations_lookup(self):
+        db = Database([Relation("R", ("a",)), Relation("S", ("b",))])
+        assert [r.name for r in db.relations(["S", "R"])] == ["S", "R"]
+
+    def test_load_csv(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        db = Database()
+        db.load_csv("R", path)
+        assert (1, 2) in db["R"]
+
+    def test_stats_cached_and_invalidated(self):
+        db = Database([Relation("R", ("a",), [(1,), (2,)])])
+        first = db.stats("R")
+        assert db.stats("R") is first
+        db.add(Relation("R", ("a",), [(1,)]), replace=True)
+        assert db.stats("R").cardinality == 1
+
+
+class TestStatistics:
+    def test_column_stats(self):
+        r = Relation("R", ("a", "b"), [(1, "x"), (2, "x"), (2, "y")])
+        stats = column_stats(r, "a")
+        assert stats.distinct == 2
+        assert stats.minimum == 1
+        assert stats.maximum == 2
+        assert stats.max_frequency == 2
+
+    def test_column_stats_empty(self):
+        stats = column_stats(Relation("R", ("a",)), "a")
+        assert stats.distinct == 0
+        assert stats.minimum is None
+        assert stats.selectivity == 0.0
+
+    def test_selectivity(self):
+        r = Relation("R", ("a",), [(i,) for i in range(4)])
+        assert column_stats(r, "a").selectivity == 0.25
+
+    def test_relation_stats(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 4)])
+        stats = relation_stats(r)
+        assert stats.cardinality == 2
+        assert stats.distinct("a") == 2
+        assert set(stats.columns) == {"a", "b"}

@@ -1,0 +1,134 @@
+"""Tests for the datalog-style conjunctive query front-end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.instrumentation import JoinStats
+from repro.relational.catalog import Database
+from repro.relational.query import parse_cq
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def db():
+    return Database([
+        Relation("R", ("a", "b"), [(1, 2), (2, 3), (1, 4)]),
+        Relation("S", ("b", "c"), [(2, 3), (3, 1), (4, 4)]),
+        Relation("T", ("a", "c"), [(1, 3), (2, 1), (9, 9)]),
+        Relation("Edge", ("src", "dst"),
+                 [(1, 2), (2, 3), (3, 1), (1, 1)]),
+        Relation("Label", ("node", "tag"),
+                 [(1, "x"), (2, "y"), (3, "x")]),
+    ])
+
+
+class TestParsing:
+    def test_simple_query(self):
+        q = parse_cq("Q(x, y) :- R(x, y)")
+        assert q.name == "Q"
+        assert q.head == ("x", "y")
+        assert q.body[0].relation == "R"
+
+    def test_constants_parsed(self):
+        q = parse_cq("Q(x) :- Label(x, 'x'), Edge(x, 1)")
+        label_atom, edge_atom = q.body
+        assert label_atom.terms[1].value == "x"
+        assert not label_atom.terms[1].is_variable
+        assert edge_atom.terms[1].value == 1
+
+    def test_negative_and_float_constants(self):
+        q = parse_cq("Q(x) :- R(x, -3), S(x, 2.5)")
+        assert q.body[0].terms[1].value == -3
+        assert q.body[1].terms[1].value == 2.5
+
+    def test_nullary_head(self):
+        q = parse_cq("Q() :- R(x, y)")
+        assert q.head == ()
+
+    def test_variables_in_first_appearance_order(self):
+        q = parse_cq("Q(z) :- R(z, y), S(y, x)")
+        assert q.variables() == ("z", "y", "x")
+
+    @pytest.mark.parametrize("bad", [
+        "Q(x)",
+        "Q(x) :-",
+        "Q(x) :- R(x",
+        "Q(x) :- R(x) extra",
+        "Q(1) :- R(x, y)",
+        "Q(z) :- R(x, y)",          # unbound head variable
+    ])
+    def test_malformed_queries_raise(self, bad):
+        with pytest.raises(QueryError):
+            parse_cq(bad)
+
+
+class TestEvaluation:
+    def test_triangle(self, db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c), T(a, c)")
+        assert set(q.evaluate(db)) == {(1, 2, 3), (2, 3, 1)}
+
+    def test_projection(self, db):
+        q = parse_cq("Q(a) :- R(a, b), S(b, c), T(a, c)")
+        assert set(q.evaluate(db)) == {(1,), (2,)}
+
+    def test_constant_selection(self, db):
+        q = parse_cq("Q(y) :- R(1, y)")
+        assert set(q.evaluate(db)) == {(2,), (4,)}
+
+    def test_string_constant(self, db):
+        q = parse_cq("Q(n) :- Label(n, 'x')")
+        assert set(q.evaluate(db)) == {(1,), (3,)}
+
+    def test_repeated_variable_in_atom(self, db):
+        # self-loops only
+        q = parse_cq("Q(x) :- Edge(x, x)")
+        assert set(q.evaluate(db)) == {(1,)}
+
+    def test_two_hop_path(self, db):
+        q = parse_cq("Q(x, z) :- Edge(x, y), Edge(y, z)")
+        out = set(q.evaluate(db))
+        assert (1, 3) in out and (2, 1) in out
+
+    def test_all_algorithms_agree(self, db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c), T(a, c)")
+        leapfrog = q.evaluate(db, algorithm="leapfrog")
+        generic = q.evaluate(db, algorithm="generic")
+        binary = q.evaluate(db, algorithm="binary")
+        assert leapfrog == generic == binary
+
+    def test_unknown_algorithm_raises(self, db):
+        q = parse_cq("Q(x, y) :- R(x, y)")
+        with pytest.raises(QueryError):
+            q.evaluate(db, algorithm="quantum")
+
+    def test_arity_mismatch_raises(self, db):
+        q = parse_cq("Q(x) :- R(x)")
+        with pytest.raises(QueryError):
+            q.evaluate(db)
+
+    def test_unknown_relation_raises(self, db):
+        q = parse_cq("Q(x) :- Missing(x)")
+        with pytest.raises(QueryError):
+            q.evaluate(db)
+
+    def test_stats_threaded(self, db):
+        q = parse_cq("Q(x, z) :- Edge(x, y), Edge(y, z)")
+        stats = JoinStats()
+        q.evaluate(db, stats=stats)
+        assert stats.stages
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+)
+def test_cq_matches_reference_join(r_rows, s_rows):
+    db = Database([Relation("R", ("a", "b"), r_rows),
+                   Relation("S", ("b", "c"), s_rows)])
+    q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+    expected = db["R"].natural_join(db["S"]).project(("a", "b", "c"))
+    for algorithm in ("leapfrog", "generic", "binary"):
+        assert q.evaluate(db, algorithm=algorithm) == expected

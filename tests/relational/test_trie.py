@@ -1,0 +1,151 @@
+"""Tests for repro.relational.trie (Trie and TrieIterator)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import tuple_sort_key
+from repro.relational.trie import Trie, TrieIterator
+
+
+@pytest.fixture
+def trie():
+    r = Relation("R", ("a", "b"), [(1, 2), (1, 3), (2, 2), (5, 1)])
+    return Trie(r, ("a", "b"))
+
+
+class TestTrieConstruction:
+    def test_root_keys_sorted(self, trie):
+        assert trie.root.sorted_keys == [1, 2, 5]
+
+    def test_default_order_is_schema_order(self):
+        r = Relation("R", ("x", "y"), [(1, 2)])
+        assert Trie(r).order == ("x", "y")
+
+    def test_non_permutation_order_rejected(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        with pytest.raises(RelationError):
+            Trie(r, ("a", "z"))
+
+    def test_reordered_trie(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 2)])
+        t = Trie(r, ("b", "a"))
+        assert t.root.sorted_keys == [2]
+        assert t.root.children[2].sorted_keys == [1, 3]
+
+    def test_tuples_enumerates_sorted(self, trie):
+        assert list(trie.tuples()) == [(1, 2), (1, 3), (2, 2), (5, 1)]
+
+    def test_descend(self, trie):
+        assert trie.descend([1]).sorted_keys == [2, 3]
+        assert trie.descend([9]) is None
+
+    def test_contains_prefix(self, trie):
+        assert trie.contains_prefix([1, 3])
+        assert not trie.contains_prefix([1, 9])
+        assert trie.contains_prefix([])
+
+
+class TestTrieIterator:
+    def test_open_positions_at_first_key(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        assert it.key() == 1
+
+    def test_next_moves_along_level(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.next()
+        assert it.key() == 2
+
+    def test_at_end_after_last(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        for _ in range(3):
+            it.next()
+        assert it.at_end()
+
+    def test_open_descends(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.open()
+        assert it.key() == 2
+        it.next()
+        assert it.key() == 3
+
+    def test_up_restores_parent_position(self, trie):
+        it = TrieIterator(trie)
+        it.open()          # at a=1
+        it.open()          # at b=2
+        it.up()            # back at a=1
+        assert it.key() == 1
+        it.next()
+        assert it.key() == 2
+
+    def test_seek_forward(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.seek(3)
+        assert it.key() == 5
+
+    def test_seek_exact(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.seek(2)
+        assert it.key() == 2
+
+    def test_seek_never_moves_backwards(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.next()          # at 2
+        it.seek(1)
+        assert it.key() == 2
+
+    def test_seek_past_end(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.seek(100)
+        assert it.at_end()
+
+    def test_deep_up_down_cycle(self, trie):
+        it = TrieIterator(trie)
+        it.open()
+        it.open()
+        it.up()
+        it.up()
+        it.open()
+        assert it.key() == 1
+
+    def test_full_enumeration_via_iterator(self, trie):
+        """Drive the iterator manually and recover all tuples."""
+        out = []
+        it = TrieIterator(trie)
+        it.open()
+        while not it.at_end():
+            a = it.key()
+            it.open()
+            while not it.at_end():
+                out.append((a, it.key()))
+                it.next()
+            it.up()
+            it.next()
+        assert out == [(1, 2), (1, 3), (2, 2), (5, 1)]
+
+
+@given(st.sets(st.tuples(st.integers(0, 8), st.integers(0, 8),
+                         st.integers(0, 8)), max_size=40))
+def test_trie_tuples_roundtrip(rows):
+    """Enumerating a trie recovers exactly the relation, sorted."""
+    r = Relation("R", ("a", "b", "c"), rows)
+    t = Trie(r)
+    assert list(t.tuples()) == sorted(rows, key=tuple_sort_key)
+
+
+@given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30))
+def test_trie_any_order_same_content(rows):
+    """A trie under a permuted order stores permuted tuples."""
+    r = Relation("R", ("a", "b"), rows)
+    t = Trie(r, ("b", "a"))
+    assert {(a, b) for (b, a) in t.tuples()} == set(rows)

@@ -1,0 +1,48 @@
+"""Tests for Trie.from_rows (the no-materialisation construction path)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RelationError
+from repro.relational.relation import Relation
+from repro.relational.trie import Trie
+
+
+class TestFromRows:
+    def test_builds_from_generator(self):
+        rows = ((i, i % 2) for i in range(4))
+        trie = Trie.from_rows("T", ("a", "b"), rows)
+        assert trie.root.sorted_keys == [0, 1, 2, 3]
+
+    def test_deduplicates(self):
+        trie = Trie.from_rows("T", ("a",), [(1,), (1,), (2,)])
+        assert trie.size == 2
+
+    def test_respects_order(self):
+        trie = Trie.from_rows("T", ("a", "b"), [(1, 9), (2, 9)],
+                              order=("b", "a"))
+        assert trie.root.sorted_keys == [9]
+        assert trie.root.children[9].sorted_keys == [1, 2]
+
+    def test_bad_order_raises(self):
+        with pytest.raises(RelationError):
+            Trie.from_rows("T", ("a", "b"), [], order=("a", "z"))
+
+    def test_empty_rows(self):
+        trie = Trie.from_rows("T", ("a",), [])
+        assert trie.size == 0
+        assert not trie.root.children
+
+    def test_size_counts_distinct(self):
+        trie = Trie.from_rows("T", ("a", "b"),
+                              [(1, 2), (1, 2), (1, 3)])
+        assert trie.size == 2
+
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                   max_size=25))
+    def test_equivalent_to_relation_trie(self, rows):
+        from_rel = Trie(Relation("R", ("a", "b"), rows))
+        from_rows = Trie.from_rows("R", ("a", "b"), iter(rows))
+        assert list(from_rel.tuples()) == list(from_rows.tuples())
+        assert from_rows.size == len(rows)

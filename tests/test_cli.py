@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro`` demo runner."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_default_is_figure1(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "jack" in out and "978-3-16-1" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "tom" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "n^5" in out
+        assert "n^7/2" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ratios" in out
+
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_unknown_command_shows_usage(self, capsys):
+        assert main(["wat"]) == 2
+        assert "Commands" in capsys.readouterr().out

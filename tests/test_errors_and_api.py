@@ -1,0 +1,71 @@
+"""Tests for the error hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    LPError,
+    PlanError,
+    QueryError,
+    RelationError,
+    ReproError,
+    SchemaError,
+    TwigError,
+    XMLParseError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error_class", [
+        SchemaError, RelationError, QueryError, XMLParseError,
+        TwigError, LPError, PlanError,
+    ])
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_xml_parse_error_position_formats(self):
+        error = XMLParseError("boom", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_xml_parse_error_offset_only(self):
+        error = XMLParseError("boom", position=42)
+        assert "offset 42" in str(error)
+
+    def test_xml_parse_error_bare(self):
+        assert str(XMLParseError("boom")) == "boom"
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core
+        import repro.relational
+        import repro.xml
+        for module in (repro.core, repro.relational, repro.xml):
+            for name in module.__all__:
+                assert hasattr(module, name), \
+                    f"{module.__name__} missing {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_from_docstring(self):
+        """The README/docstring quickstart must actually run."""
+        from repro import (MultiModelQuery, Relation, TwigBinding,
+                           parse_document, parse_twig, xjoin)
+
+        orders = Relation("orders", ("orderID", "userID"),
+                          [(10963, "jack"), (20134, "tom")])
+        invoices = parse_document(
+            "<invoices><orderLine><orderID>10963</orderID>"
+            "<ISBN>978-3-16-1</ISBN><price>30</price></orderLine>"
+            "</invoices>")
+        twig = parse_twig("orderLine(/orderID, /ISBN, /price)")
+        query = MultiModelQuery([orders], [TwigBinding(twig, invoices)])
+        result = xjoin(query)
+        assert set(result.project(["userID", "ISBN", "price"])) == {
+            ("jack", "978-3-16-1", 30)}

@@ -1,0 +1,87 @@
+"""Tests for the XMark-flavoured document generator."""
+
+import pytest
+
+from repro.xml.navigation import match_relation
+from repro.xml.serializer import serialize
+from repro.xml.parser import parse_element_tree
+from repro.xml.twig_parser import parse_twig
+from repro.xml.twigstack import twig_stack
+from repro.xml.xmark import REGIONS, XMarkScale, xmark_document
+
+
+class TestScale:
+    def test_from_factor(self):
+        scale = XMarkScale.from_factor(1.0)
+        assert scale.items == 100
+        assert scale.people == 50
+        assert scale.auctions == 50
+        assert scale.categories == 10
+
+    def test_minimums(self):
+        scale = XMarkScale.from_factor(0.001)
+        assert scale.items >= 1
+        assert scale.people >= 1
+        assert scale.categories >= 1
+
+
+class TestDocumentShape:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return xmark_document(0.2, seed=11)
+
+    def test_top_level_sections(self, doc):
+        assert [c.tag for c in doc.root.children] == [
+            "regions", "people", "open_auctions"]
+
+    def test_all_regions_present(self, doc):
+        region_tags = {c.tag for c in doc.nodes("regions")[0].children}
+        assert region_tags == set(REGIONS)
+
+    def test_entity_counts(self, doc):
+        scale = XMarkScale.from_factor(0.2)
+        assert doc.tag_count("item") == scale.items
+        assert doc.tag_count("person") == scale.people
+        assert doc.tag_count("open_auction") == scale.auctions
+
+    def test_items_have_names_and_categories(self, doc):
+        for item in doc.nodes("item"):
+            child_tags = [c.tag for c in item.children]
+            assert "name" in child_tags
+            assert "incategory" in child_tags
+            assert "payment" in child_tags
+
+    def test_references_are_in_range(self, doc):
+        scale = XMarkScale.from_factor(0.2)
+        for ref in doc.nodes("itemref"):
+            assert 0 <= ref.value < scale.items
+        for ref in doc.nodes("personref"):
+            assert 0 <= ref.value < scale.people
+
+    def test_deterministic(self):
+        a = xmark_document(0.1, seed=3)
+        b = xmark_document(0.1, seed=3)
+        assert a.root.structure_equal(b.root)
+
+    def test_seed_changes_content(self):
+        a = xmark_document(0.1, seed=3)
+        b = xmark_document(0.1, seed=4)
+        assert not a.root.structure_equal(b.root)
+
+    def test_roundtrips_through_parser(self, doc):
+        text = serialize(doc.root)
+        assert doc.root.structure_equal(parse_element_tree(text))
+
+
+class TestXMarkQueries:
+    def test_twig_queries_agree(self):
+        doc = xmark_document(0.1, seed=5)
+        queries = [
+            "item(/name, /incategory)",
+            "open_auction(/itemref, /current)",
+            "person(/name, //interest)",
+            "open_auction(//personref)",
+        ]
+        for pattern in queries:
+            twig = parse_twig(pattern)
+            assert twig_stack(doc, twig) == match_relation(doc, twig)
