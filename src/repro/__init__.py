@@ -5,6 +5,10 @@ engine, an XML engine (parser, labelling schemes, twig matching), the AGM
 bound machinery over combined relational+twig hypergraphs, and the XJoin
 worst-case optimal multi-model join algorithm with its baseline.
 
+All join algorithms execute through the shared dictionary-encoded engine
+(:mod:`repro.engine`); :func:`repro.engine.run_query` is the planned
+one-call entry point, and ``docs/architecture.md`` maps the layers.
+
 Quickstart::
 
     from repro import (MultiModelQuery, Relation, TwigBinding,
@@ -34,6 +38,7 @@ from repro.core import (
     vertex_packing,
     xjoin,
 )
+from repro.engine import EncodedInstance, plan_query, run_query
 from repro.instrumentation import JoinStats
 from repro.relational import (
     Database,
@@ -54,12 +59,13 @@ from repro.xml import (
     twig_stack,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AGMBound",
     "Axis",
     "Database",
+    "EncodedInstance",
     "Hypergraph",
     "JoinStats",
     "MultiModelQuery",
@@ -79,6 +85,8 @@ __all__ = [
     "parse_document",
     "parse_twig",
     "parse_xpath",
+    "plan_query",
+    "run_query",
     "symbolic_exponent",
     "twig_stack",
     "vertex_packing",

@@ -5,11 +5,13 @@ Commands:
 * ``figure1``  — the paper's motivating join (default)
 * ``bounds``   — Figure 2 decomposition + Example 3.3 exact bounds
 * ``figure3 [n]`` — baseline vs XJoin on the adversarial instance
+* ``bench [n]``   — race the engine's algorithms on the standard scenarios
 * ``selftest`` — a quick cross-algorithm consistency check
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -18,7 +20,12 @@ from repro.core.decomposition import decompose
 from repro.core.multimodel import MultiModelQuery, TwigBinding
 from repro.core.xjoin import xjoin
 from repro.data.scenarios import figure1_query
-from repro.data.synthetic import example33_instance, example34_instance, figure2_twig
+from repro.data.synthetic import (
+    agm_tight_triangle,
+    example33_instance,
+    example34_instance,
+    figure2_twig,
+)
 from repro.instrumentation import JoinStats
 
 
@@ -64,6 +71,52 @@ def cmd_figure3(n: int = 6) -> int:
     return 0
 
 
+def cmd_bench(n: int = 150) -> int:
+    """Race the registered engine algorithms on the standard scenarios."""
+    from repro.engine.encoded import EncodedInstance
+    from repro.engine.interface import get_algorithm
+    from repro.relational.plans import execute_plan, left_deep_plan
+
+    def timed(fn):
+        start = time.perf_counter()
+        out = fn()
+        return out, (time.perf_counter() - start) * 1e3
+
+    relations = agm_tight_triangle(n)
+    named = {r.name: r for r in relations}
+    order = ("a", "b", "c")
+    instance = EncodedInstance.from_relations(relations, order)
+    print(f"triangle (n={n}, {len(relations)} relations; "
+          "one shared encoded instance):")
+    reference = None
+    for algorithm in ("generic_join", "leapfrog"):
+        result, ms = timed(lambda: get_algorithm(algorithm).run(instance))
+        if reference is None:
+            reference = result
+        elif result != reference:
+            print(f"error: {algorithm!r} disagrees with the reference "
+                  f"result ({len(result)} vs {len(reference)} rows)",
+                  file=sys.stderr)
+            return 1
+        print(f"  {algorithm:<14} {ms:8.2f}ms  |Q|={len(result)}")
+    _, ms = timed(lambda: execute_plan(left_deep_plan(["R", "S", "T"]),
+                                       named))
+    print(f"  {'binary plan':<14} {ms:8.2f}ms  (traditional foil)")
+
+    m = max(2, min(8, n // 20))
+    instance34 = example34_instance(m)
+    print(f"figure 3 scenario (n={m}):")
+    xresult, ms = timed(lambda: xjoin(instance34.query))
+    print(f"  {'xjoin':<14} {ms:8.2f}ms  |Q|={len(xresult)}")
+    bresult, ms = timed(lambda: baseline_join(instance34.query))
+    if bresult != xresult:
+        print("error: baseline disagrees with xjoin "
+              f"({len(bresult)} vs {len(xresult)} rows)", file=sys.stderr)
+        return 1
+    print(f"  {'baseline':<14} {ms:8.2f}ms")
+    return 0
+
+
 def cmd_selftest() -> int:
     from repro.data.random_instances import random_multimodel_instance
 
@@ -79,18 +132,44 @@ def cmd_selftest() -> int:
     return 1 if failures else 0
 
 
+class _BadArgument(Exception):
+    """A command argument failed to parse (reported before dispatch)."""
+
+
+def _int_argument(command: str, args: list[str], default: int) -> int:
+    """Parse the command's optional integer argument; only *argument*
+    errors map to the exit-2 usage failure, never a command's internals."""
+    if len(args) <= 1:
+        return default
+    try:
+        return int(args[1])
+    except ValueError as exc:
+        print(f"error: bad argument for {command!r}: {exc}", file=sys.stderr)
+        raise _BadArgument from None
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     command = args[0] if args else "figure1"
-    if command == "figure1":
-        return cmd_figure1()
-    if command == "bounds":
-        return cmd_bounds()
-    if command == "figure3":
-        n = int(args[1]) if len(args) > 1 else 6
-        return cmd_figure3(n)
-    if command == "selftest":
-        return cmd_selftest()
+    try:
+        if command == "figure1":
+            return cmd_figure1()
+        if command == "bounds":
+            return cmd_bounds()
+        if command == "figure3":
+            return cmd_figure3(_int_argument(command, args, 6))
+        if command == "bench":
+            return cmd_bench(_int_argument(command, args, 150))
+        if command == "selftest":
+            return cmd_selftest()
+    except _BadArgument:
+        return 2
+    except BrokenPipeError:
+        # Downstream filter closed the pipe (e.g. ``repro bench | head``);
+        # point stdout at devnull so shutdown flushes don't traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    print(f"error: unknown command {command!r}", file=sys.stderr)
     print(__doc__)
     return 2
 

@@ -12,6 +12,14 @@ All intermediate results (every binary-join output, every twig path
 solution and embedding, and the final combination steps) are recorded in
 the shared :class:`~repro.instrumentation.JoinStats`, which is what the
 Figure 3 benchmark compares against XJoin.
+
+The baseline is also registered with the unified engine interface as the
+``"baseline"`` :class:`~repro.engine.interface.JoinAlgorithm`
+(:class:`repro.engine.algorithms.BaselineJoinAlgorithm`), so planners and
+benchmarks can race it against the encoded operators over one
+:class:`~repro.engine.encoded.EncodedInstance`. It intentionally does not
+execute on the encoded tries — being the unencoded dual-engine stack is
+what makes it the paper's foil.
 """
 
 from __future__ import annotations

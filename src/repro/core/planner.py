@@ -2,7 +2,14 @@
 
 Any attribute order keeps XJoin worst-case optimal (the bound argument is
 order-independent), but constants differ wildly — the ablation benchmark
-``bench_ablation_order`` quantifies this. Provided policies:
+``bench_ablation_order`` quantifies this.
+
+The policies now live in :mod:`repro.engine.planner` as named strategies
+of the stats-driven planner, where the ``domain`` and ``connected``
+estimates come from *cached* relation statistics
+(:func:`repro.engine.planner.cached_relation_stats`) instead of rescanning
+``distinct_values`` on every call. This module re-exports them under
+their historical names:
 
 * ``given``  — the caller's explicit order, validated.
 * ``appearance`` — relational schemas first, then twig pre-order (default).
@@ -15,97 +22,17 @@ order-independent), but constants differ wildly — the ablation benchmark
 
 from __future__ import annotations
 
-from repro.core.hypergraph import Hypergraph
-from repro.core.multimodel import MultiModelQuery
-from repro.errors import PlanError
+from repro.engine.planner import (  # noqa: F401  (re-exported API)
+    ORDER_STRATEGIES as _POLICIES,
+    appearance_order,
+    attribute_order,
+    connected_order,
+    domain_order,
+)
 
-
-def _domain_estimates(query: MultiModelQuery) -> dict[str, int]:
-    """Per-attribute candidate-domain estimate: the smallest number of
-    distinct values any input offers for that attribute."""
-    estimates: dict[str, int] = {}
-
-    def shrink(attribute: str, count: int) -> None:
-        current = estimates.get(attribute)
-        if current is None or count < current:
-            estimates[attribute] = count
-
-    for relation in query.relations:
-        for attribute in relation.schema:
-            shrink(attribute, len(relation.distinct_values(attribute)))
-    for binding in query.twigs:
-        for query_node in binding.twig.nodes():
-            values = {node.value
-                      for node in binding.document.nodes(query_node.tag)
-                      if query_node.matches_value(node.value)}
-            shrink(query_node.name, len(values))
-    return estimates
-
-
-def appearance_order(query: MultiModelQuery) -> tuple[str, ...]:
-    """Relational attributes first, then twig attributes, as they appear."""
-    return query.attributes
-
-
-def domain_order(query: MultiModelQuery) -> tuple[str, ...]:
-    """Attributes sorted by estimated domain size (smallest first)."""
-    estimates = _domain_estimates(query)
-    return tuple(sorted(query.attributes,
-                        key=lambda a: (estimates.get(a, 0), a)))
-
-
-def connected_order(query: MultiModelQuery) -> tuple[str, ...]:
-    """Greedy connected order over the query hypergraph."""
-    graph: Hypergraph = query.hypergraph(with_cardinalities=False)
-    estimates = _domain_estimates(query)
-    remaining = set(query.attributes)
-    order: list[str] = []
-
-    def neighbours(attribute: str) -> set[str]:
-        out: set[str] = set()
-        for edge in graph.edges_covering(attribute):
-            out.update(edge.vertices)
-        out.discard(attribute)
-        return out
-
-    connected: set[str] = set()
-    while remaining:
-        if connected & remaining:
-            pool = connected & remaining
-        else:
-            pool = remaining  # start (or restart on a disconnected part)
-        pick = min(pool, key=lambda a: (estimates.get(a, 0), a))
-        order.append(pick)
-        remaining.discard(pick)
-        connected.update(neighbours(pick))
-    return tuple(order)
-
-
-_POLICIES = {
-    "appearance": appearance_order,
-    "domain": domain_order,
-    "connected": connected_order,
-}
-
-
-def attribute_order(query: MultiModelQuery,
-                    order: "str | tuple[str, ...] | list[str] | None" = None
-                    ) -> tuple[str, ...]:
-    """Resolve an order argument: a policy name, an explicit order, or
-    None (the ``appearance`` default)."""
-    if order is None:
-        return appearance_order(query)
-    if isinstance(order, str):
-        try:
-            policy = _POLICIES[order]
-        except KeyError:
-            raise PlanError(
-                f"unknown order policy {order!r}; "
-                f"choose from {sorted(_POLICIES)!r}") from None
-        return policy(query)
-    explicit = tuple(order)
-    if sorted(explicit) != sorted(query.attributes):
-        raise PlanError(
-            f"order {list(explicit)!r} is not a permutation of the query "
-            f"attributes {sorted(query.attributes)!r}")
-    return explicit
+__all__ = [
+    "appearance_order",
+    "attribute_order",
+    "connected_order",
+    "domain_order",
+]

@@ -14,11 +14,16 @@ XJoin's partial-validation mode re-checks prefixes aggressively).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.surrogate import NodeSurrogate
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.schema import Value
 from repro.xml.model import XMLDocument, XMLNode
 from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+if TYPE_CHECKING:
+    from repro.core.multimodel import TwigBinding
 
 
 def _node_matches(node: XMLNode, required: Value) -> bool:
@@ -150,6 +155,63 @@ class StructureValidator:
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+
+class ADValueIndex:
+    """Lazily built value-pair index for one A-D twig edge.
+
+    Maps upper-node values to the set of lower-node values reachable via
+    the ancestor-descendant axis (and the reverse direction), restricted
+    to nodes matching the query nodes' tags and predicates. XJoin's
+    ``ad_prefilter`` mode consults these to discard candidate values whose
+    A-D counterpart cannot exist ("filtering infeasible intermediate
+    results").
+    """
+
+    def __init__(self, binding: "TwigBinding", upper_name: str,
+                 lower_name: str, structural: frozenset[str] = frozenset()):
+        self._binding = binding
+        self._upper = binding.twig.node(upper_name)
+        self._lower = binding.twig.node(lower_name)
+        self._upper_structural = upper_name in structural
+        self._lower_structural = lower_name in structural
+        self._down: dict[Value, set[Value]] | None = None
+        self._up: dict[Value, set[Value]] | None = None
+
+    def _build(self) -> None:
+        from repro.core.surrogate import node_representation
+
+        down: dict[Value, set[Value]] = {}
+        up: dict[Value, set[Value]] = {}
+        document = self._binding.document
+        lower_tag = self._lower.tag
+        for upper_node in document.nodes(self._upper.tag):
+            if not self._upper.matches_value(upper_node.value):
+                continue
+            upper_key = node_representation(upper_node,
+                                            self._upper_structural)
+            for descendant in upper_node.descendants():
+                if descendant.tag != lower_tag:
+                    continue
+                if not self._lower.matches_value(descendant.value):
+                    continue
+                lower_key = node_representation(descendant,
+                                                self._lower_structural)
+                down.setdefault(upper_key, set()).add(lower_key)
+                up.setdefault(lower_key, set()).add(upper_key)
+        self._down, self._up = down, up
+
+    def lower_values_for(self, upper_value: Value) -> set[Value]:
+        if self._down is None:
+            self._build()
+        assert self._down is not None
+        return self._down.get(upper_value, set())
+
+    def upper_values_for(self, lower_value: Value) -> set[Value]:
+        if self._up is None:
+            self._build()
+        assert self._up is not None
+        return self._up.get(lower_value, set())
 
 
 class PartialStructureValidator:

@@ -9,11 +9,18 @@ input. By the AGM argument over the combined hypergraph, the number of
 partial tuples at any stage never exceeds the worst-case size bound of
 the whole query (Lemma 3.5; property-tested in the suite).
 
-Inputs are indexed as tries: relations directly, path relations straight
-from the document's P-C chains (:meth:`Trie.from_rows` over a generator —
-the paper's "we do not physically transform them into relational
-tables"). The A-D edges and cross-path branching are enforced by the
-final structure-validation filter (Algorithm 1's last line).
+Since the engine refactor this module is the multi-model *front-end*: it
+resolves the expansion order (:mod:`repro.core.planner`), builds one
+dictionary-encoded :class:`~repro.engine.encoded.EncodedInstance` —
+relations and path relations indexed as int-coded tries over shared
+per-attribute dictionaries, path rows gathered from the document's
+P-C chains without ever materialising a relation (the paper's "we do
+not physically transform them into relational tables"; only a transient
+distinct-row set feeds the dictionary and trie build) — and invokes the
+registered ``xjoin`` operator
+(:class:`repro.engine.algorithms.XJoinAlgorithm`). The A-D edges and
+cross-path branching are enforced by the final structure-validation
+filter (Algorithm 1's last line).
 
 The paper's "on-going work" extensions are implemented as optional modes:
 
@@ -31,69 +38,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.decomposition import iter_path_value_rows
-from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.core.multimodel import MultiModelQuery
 from repro.core.planner import attribute_order
-from repro.core.surrogate import erase_surrogates
-from repro.core.validation import PartialStructureValidator, StructureValidator
+from repro.engine.algorithms import XJOIN
+from repro.engine.encoded import EncodedInstance
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema, Value
-from repro.relational.trie import Trie, TrieNode
-
-
-class _ADValueIndex:
-    """Lazily built value-pair index for one A-D twig edge.
-
-    Maps upper-node values to the set of lower-node values reachable via
-    the ancestor-descendant axis (and the reverse direction), restricted
-    to nodes matching the query nodes' tags and predicates.
-    """
-
-    def __init__(self, binding: TwigBinding, upper_name: str,
-                 lower_name: str, structural: frozenset[str] = frozenset()):
-        self._binding = binding
-        self._upper = binding.twig.node(upper_name)
-        self._lower = binding.twig.node(lower_name)
-        self._upper_structural = upper_name in structural
-        self._lower_structural = lower_name in structural
-        self._down: dict[Value, set[Value]] | None = None
-        self._up: dict[Value, set[Value]] | None = None
-
-    def _build(self) -> None:
-        from repro.core.surrogate import node_representation
-
-        down: dict[Value, set[Value]] = {}
-        up: dict[Value, set[Value]] = {}
-        document = self._binding.document
-        lower_tag = self._lower.tag
-        for upper_node in document.nodes(self._upper.tag):
-            if not self._upper.matches_value(upper_node.value):
-                continue
-            upper_key = node_representation(upper_node,
-                                            self._upper_structural)
-            for descendant in upper_node.descendants():
-                if descendant.tag != lower_tag:
-                    continue
-                if not self._lower.matches_value(descendant.value):
-                    continue
-                lower_key = node_representation(descendant,
-                                                self._lower_structural)
-                down.setdefault(upper_key, set()).add(lower_key)
-                up.setdefault(lower_key, set()).add(upper_key)
-        self._down, self._up = down, up
-
-    def lower_values_for(self, upper_value: Value) -> set[Value]:
-        if self._down is None:
-            self._build()
-        assert self._down is not None
-        return self._down.get(upper_value, set())
-
-    def upper_values_for(self, lower_value: Value) -> set[Value]:
-        if self._up is None:
-            self._build()
-        assert self._up is not None
-        return self._up.get(lower_value, set())
 
 
 def xjoin(query: MultiModelQuery,
@@ -111,144 +61,10 @@ def xjoin(query: MultiModelQuery,
     """
     stats = ensure_stats(stats)
     expansion = attribute_order(query, order)
-    depth = len(expansion)
-
-    # ---- index construction (inputs only; no intermediate results) ------
-    tries: list[Trie] = []
-    for relation in query.relations:
-        tries.append(
-            Trie(relation, relation.schema.restrict_order(expansion)))
-    structural = {binding.name: query.structural_attributes(binding)
-                  for binding in query.twigs}
-    for binding in query.twigs:
-        for path in query.decompositions[binding.name].paths:
-            restricted = Schema(path.attributes).restrict_order(expansion)
-            tries.append(Trie.from_rows(
-                path.name, path.attributes,
-                iter_path_value_rows(binding.document, path,
-                                     structural[binding.name]),
-                order=restricted))
-
-    # Any empty input empties the whole join; bail out before expanding
-    # (this also keeps Lemma 3.5 exact when the AGM bound is zero —
-    # otherwise early attributes could briefly accumulate partial tuples
-    # that a later, empty input would discard).
-    if any(not trie.root.children and trie.depth > 0 for trie in tries):
-        stats.record_stage("empty input", 0)
-        return Relation(query.name, Schema(query.attributes))
-
-    participation: list[list[int]] = [[] for _ in expansion]
-    for trie_index, trie in enumerate(tries):
-        for attribute in trie.order:
-            participation[expansion.index(attribute)].append(trie_index)
-
-    # ---- twig-side filters ----------------------------------------------
-    validators = {binding.name: StructureValidator(binding.document,
-                                                   binding.twig)
-                  for binding in query.twigs} if validate_structure else {}
-    partial_validators = (
-        {binding.name: PartialStructureValidator(binding.document,
-                                                 binding.twig)
-         for binding in query.twigs} if partial_validation else {})
-    twig_attrs = {binding.name: set(binding.twig.attributes)
-                  for binding in query.twigs}
-
-    ad_indexes: list[tuple[str, str, str, _ADValueIndex]] = []
-    if ad_prefilter:
-        for binding in query.twigs:
-            for upper, lower in binding.twig.ad_edges():
-                ad_indexes.append(
-                    (binding.name, upper.name, lower.name,
-                     _ADValueIndex(binding, upper.name, lower.name,
-                                   structural[binding.name])))
-
-    # ---- the attribute-at-a-time expansion -------------------------------
-    stats.start_timer()
-    binding_values: dict[str, Value] = {}
-    nodes: list[TrieNode] = [trie.root for trie in tries]
-    rows: list[tuple[Value, ...]] = []
-    alive = [0] * depth
-
-    def ad_feasible(attribute: str, value: Value) -> bool:
-        """Candidate pruning through the A-D value-pair indexes."""
-        for _twig, upper_name, lower_name, index in ad_indexes:
-            if attribute == lower_name and upper_name in binding_values:
-                if value not in index.lower_values_for(
-                        binding_values[upper_name]):
-                    return False
-            if attribute == upper_name and lower_name in binding_values:
-                if value not in index.upper_values_for(
-                        binding_values[lower_name]):
-                    return False
-        return True
-
-    def partially_valid(attribute: str) -> bool:
-        """Prune via embeddability of the bound twig attributes."""
-        for binding in query.twigs:
-            attrs = twig_attrs[binding.name]
-            if attribute not in attrs:
-                continue
-            bound = {a: v for a, v in binding_values.items() if a in attrs}
-            if not partial_validators[binding.name].validate_subset(bound):
-                return False
-        return True
-
-    def structure_valid() -> bool:
-        """Algorithm 1's final filter, applied as each tuple completes."""
-        for binding in query.twigs:
-            values = {a: binding_values[a] for a in twig_attrs[binding.name]}
-            if not validators[binding.name].validate(values, stats=stats):
-                return False
-        return True
-
-    def search(level: int) -> None:
-        attribute = expansion[level]
-        participants = participation[level]
-        participant_nodes = [nodes[i] for i in participants]
-        seed = min(participant_nodes, key=lambda node: len(node.children))
-        for value in seed.sorted_keys:
-            children = []
-            feasible = True
-            for node in participant_nodes:
-                stats.count_seeks()
-                child = node.children.get(value)
-                if child is None:
-                    feasible = False
-                    break
-                children.append(child)
-            if not feasible:
-                continue
-            if ad_indexes and not ad_feasible(attribute, value):
-                stats.count_filtered()
-                continue
-            binding_values[attribute] = value
-            if partial_validators and not partially_valid(attribute):
-                del binding_values[attribute]
-                stats.count_filtered()
-                continue
-            alive[level] += 1
-            saved = [nodes[i] for i in participants]
-            for participant, child in zip(participants, children):
-                nodes[participant] = child
-            if level + 1 == depth:
-                if not validators or structure_valid():
-                    rows.append(tuple(binding_values[a] for a in expansion))
-                    stats.count_emitted()
-            else:
-                search(level + 1)
-            for participant, old in zip(participants, saved):
-                nodes[participant] = old
-            del binding_values[attribute]
-
-    if depth == 0:
-        rows.append(())
-    else:
-        search(0)
-        for level, count in enumerate(alive):
-            stats.record_stage(f"expand {expansion[level]}", count)
-    stats.stop_timer()
-    # Erase node surrogates: the query's answer is value-level.
-    if any(structural.values()):
-        rows = [erase_surrogates(row) for row in rows]
-    result = Relation(query.name, Schema(expansion), rows)
-    return result.project(query.attributes, name=query.name)
+    with stats.phase("encode"):
+        instance = EncodedInstance.from_query(
+            query, expansion,
+            validate_structure=validate_structure,
+            ad_prefilter=ad_prefilter,
+            partial_validation=partial_validation)
+    return XJOIN.run(instance, stats=stats)

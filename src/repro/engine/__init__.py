@@ -1,0 +1,58 @@
+"""The dictionary-encoded execution engine shared by all join algorithms.
+
+Three layers (see ``docs/architecture.md``):
+
+1. **Dictionary encoding** (:mod:`repro.engine.dictionary`) — per-attribute
+   value <-> dense-int bijections, shared across relations and twig
+   path-relations, order-preserving so code comparisons are value
+   comparisons.
+2. **Encoded instances + the operator interface**
+   (:mod:`repro.engine.encoded`, :mod:`repro.engine.interface`) — one
+   :class:`EncodedInstance` per query (int-keyed tries, participation
+   map, twig filters) consumed by any registered
+   :class:`JoinAlgorithm`.
+3. **Stats-driven planning** (:mod:`repro.engine.planner`) — cached
+   relation/twig statistics choosing the expansion order and the
+   algorithm, with the historical policies preserved as named strategies.
+"""
+
+from repro.engine.dictionary import Dictionary, DictionaryBuilder
+from repro.engine.encoded import (
+    EncodedInstance,
+    EncodedTrie,
+    EncodedTrieIterator,
+    TwigFilters,
+)
+from repro.engine.interface import (
+    JoinAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register,
+)
+from repro.engine.planner import (
+    QueryPlan,
+    QueryStatistics,
+    cached_relation_stats,
+    plan_query,
+    run_query,
+    statistics_for,
+)
+
+__all__ = [
+    "Dictionary",
+    "DictionaryBuilder",
+    "EncodedInstance",
+    "EncodedTrie",
+    "EncodedTrieIterator",
+    "JoinAlgorithm",
+    "QueryPlan",
+    "QueryStatistics",
+    "TwigFilters",
+    "available_algorithms",
+    "cached_relation_stats",
+    "get_algorithm",
+    "plan_query",
+    "register",
+    "run_query",
+    "statistics_for",
+]

@@ -1,0 +1,128 @@
+"""Dictionary encoding: dense integer codes per attribute domain.
+
+The engine's first layer. Every attribute of a query gets one
+:class:`Dictionary` mapping the union of the values that *any* input
+(relational column or twig path position) offers for that attribute to
+``0..k-1``. Codes are assigned in the mixed-type total order of
+:func:`repro.relational.schema.sort_key`, so **code order equals value
+order**: trie levels sorted by code are sorted by value, leapfrog seeks
+compare plain ints, and hashed descent probes int-keyed dicts instead of
+hashing heterogeneous Python objects.
+
+Because one dictionary serves every input that binds the attribute, equal
+values encode to equal codes across relations and twig path-relations —
+intersection on codes is exactly intersection on values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from operator import itemgetter
+
+from repro.errors import EngineError
+from repro.relational.relation import Relation
+from repro.relational.schema import Value, sort_key
+
+
+class Dictionary:
+    """An immutable value <-> code bijection for one attribute domain.
+
+    >>> d = Dictionary("a", ["x", 3, 1])
+    >>> [d.decode(c) for c in range(len(d))]
+    [1, 3, 'x']
+    >>> d.encode(3)
+    1
+    """
+
+    __slots__ = ("attribute", "values", "codes")
+
+    def __init__(self, attribute: str, domain: Iterable[Value]):
+        self.attribute = attribute
+        if not isinstance(domain, (set, frozenset)):
+            domain = set(domain)
+        #: Domain values, positionally indexed by code, in sort_key order.
+        self.values: tuple[Value, ...] = tuple(sorted(domain, key=sort_key))
+        #: The inverse mapping (value -> code).
+        self.codes: dict[Value, int] = {
+            value: code for code, value in enumerate(self.values)}
+
+    def encode(self, value: Value) -> int:
+        """The code of *value*; raises :class:`EngineError` if unknown."""
+        try:
+            return self.codes[value]
+        except KeyError:
+            raise EngineError(
+                f"value {value!r} is not in the encoded domain of "
+                f"attribute {self.attribute!r}") from None
+
+    def encode_or_none(self, value: Value) -> int | None:
+        """The code of *value*, or None when outside the domain."""
+        return self.codes.get(value)
+
+    def decode(self, code: int) -> Value:
+        """The value behind *code*."""
+        try:
+            return self.values[code]
+        except IndexError:
+            raise EngineError(
+                f"code {code!r} is outside the encoded domain of "
+                f"attribute {self.attribute!r} (size {len(self.values)})"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self.codes
+
+    def __repr__(self) -> str:
+        return f"Dictionary({self.attribute!r}, {len(self.values)} values)"
+
+
+class DictionaryBuilder:
+    """Accumulates attribute domains across inputs, then freezes them.
+
+    Feed it every input of a query (relations via :meth:`add_relation`,
+    already-materialised row sets via :meth:`add_rows`) and call
+    :meth:`build` once; the resulting dictionaries are shared by all
+    encoded tries of the query.
+    """
+
+    def __init__(self) -> None:
+        self._domains: dict[str, set[Value]] = {}
+
+    def add_values(self, attribute: str, values: Iterable[Value]) -> None:
+        self._domains.setdefault(attribute, set()).update(values)
+
+    def add_relation(self, relation: Relation) -> None:
+        for position, attribute in enumerate(relation.schema):
+            domain = self._domains.setdefault(attribute, set())
+            domain.update(map(itemgetter(position), relation.rows))
+
+    def add_rows(self, attributes: Sequence[str],
+                 rows: Iterable[Sequence[Value]]) -> None:
+        domains = [self._domains.setdefault(a, set()) for a in attributes]
+        for row in rows:
+            for domain, value in zip(domains, row):
+                domain.add(value)
+
+    def build(self) -> dict[str, Dictionary]:
+        return {attribute: Dictionary(attribute, domain)
+                for attribute, domain in self._domains.items()}
+
+
+def encode_rows(rows: "Sequence[Sequence[Value]] | frozenset | set",
+                positions: Sequence[int],
+                dictionaries: Sequence[Dictionary]) -> list[tuple[int, ...]]:
+    """Encode *rows*, picking column *positions* in order, one dictionary
+    per picked column. Rows are returned as plain int tuples.
+
+    Encoding runs column-wise (one flat comprehension per column, then a
+    C-level transpose) — measurably faster than a per-row generator
+    expression. *rows* must therefore be re-iterable with stable order.
+    """
+    if not positions:
+        return [() for _ in rows]
+    columns = [[d.codes[row[p]] for row in rows]
+               for p, d in zip(positions, dictionaries)]
+    return list(zip(*columns))

@@ -1,0 +1,370 @@
+"""Encoded physical representation of a query: the engine's second layer.
+
+An :class:`EncodedInstance` is built **once** per query and then handed to
+any :class:`~repro.engine.interface.JoinAlgorithm`. It bundles
+
+* one shared :class:`~repro.engine.dictionary.Dictionary` per attribute,
+* one :class:`EncodedTrie` per input — relations directly, twig
+  path-relations from the document's P-C chains. Path rows are never
+  materialised as :class:`Relation`s (the paper's "we do not physically
+  transform them into relational tables"); a transient distinct-row set
+  is gathered once per path to feed both the shared dictionaries and
+  the trie build,
+* the participation map (which tries bind which level of the global
+  attribute order), and
+* for multi-model queries, the twig-side filters (structure validators
+  and A-D prefilter indexes) that XJoin's modes consume.
+
+Tries store dense int codes: every level's key list is a sorted plain
+``list[int]`` (code order == value order, see the dictionary layer), so
+seeks are ``bisect`` on ints and hashed descent probes int-keyed dicts.
+Building from sorted encoded rows shares prefixes with the previous row,
+which also yields the key lists already sorted — no per-node sort pass.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.dictionary import Dictionary, DictionaryBuilder, encode_rows
+from repro.errors import QueryError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, Value
+
+if TYPE_CHECKING:
+    from repro.core.multimodel import MultiModelQuery
+    from repro.core.validation import (
+        ADValueIndex,
+        PartialStructureValidator,
+        StructureValidator,
+    )
+
+
+class EncodedTrieNode:
+    """One trie level: sorted int codes plus child pointers."""
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.children: dict[int, "EncodedTrieNode"] = {}
+
+    def seek_index(self, code: int) -> int:
+        """Index of the first key >= *code*."""
+        return bisect_left(self.keys, code)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class EncodedTrie:
+    """A dictionary-encoded input indexed as a trie over ``order``.
+
+    ``encoded_rows`` must be *distinct* (encoding a relation's distinct
+    rows, or an already-deduplicated row set, guarantees this).
+    """
+
+    __slots__ = ("name", "order", "root", "size")
+
+    def __init__(self, name: str, order: Sequence[str],
+                 encoded_rows: Iterable[tuple[int, ...]]):
+        self.name = name
+        self.order = tuple(order)
+        rows = sorted(encoded_rows)
+        self.size = len(rows)
+        root = EncodedTrieNode()
+        # Sorted insertion: reuse the chain of nodes shared with the
+        # previous row; new keys always append in sorted position.
+        chain: list[EncodedTrieNode] = [root]
+        previous: tuple[int, ...] | None = None
+        for row in rows:
+            split = 0
+            if previous is not None:
+                limit = len(row)
+                while split < limit and row[split] == previous[split]:
+                    split += 1
+            del chain[split + 1:]
+            node = chain[split]
+            for code in row[split:]:
+                child = EncodedTrieNode()
+                node.keys.append(code)
+                node.children[code] = child
+                chain.append(child)
+                node = child
+            previous = row
+        self.root = root
+
+    @property
+    def depth(self) -> int:
+        return len(self.order)
+
+    def tuples(self):
+        """Enumerate stored code tuples in sorted order (for tests)."""
+
+        def recurse(node: EncodedTrieNode, prefix: tuple[int, ...]):
+            if len(prefix) == self.depth:
+                yield prefix
+                return
+            for code in node.keys:
+                yield from recurse(node.children[code], prefix + (code,))
+
+        yield from recurse(self.root, ())
+
+
+class EncodedTrieIterator:
+    """The LFTJ iterator interface (open/up/next/seek/key) over int codes.
+
+    The current level's node and position live in flat slots (not at the
+    top of a stack) so the per-comparison methods — ``key``, ``at_end``,
+    ``next``, ``seek`` — touch no list indexing beyond the key array.
+    Position -1 is the virtual root level before the first ``open``.
+    """
+
+    __slots__ = ("_node", "_pos", "_stack")
+
+    def __init__(self, trie: EncodedTrie):
+        self._node = trie.root
+        self._pos = -1
+        self._stack: list[tuple[EncodedTrieNode, int]] = []
+
+    def open(self) -> None:
+        node = self._node
+        self._stack.append((node, self._pos))
+        if self._pos >= 0:
+            self._node = node.children[node.keys[self._pos]]
+        self._pos = 0
+
+    def up(self) -> None:
+        self._node, self._pos = self._stack.pop()
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._node.keys)
+
+    def key(self) -> int:
+        return self._node.keys[self._pos]
+
+    def next(self) -> None:
+        self._pos += 1
+
+    def seek(self, code: int) -> None:
+        index = bisect_left(self._node.keys, code)
+        if index > self._pos:
+            self._pos = index
+
+
+@dataclass
+class TwigFilters:
+    """The twig-side machinery XJoin threads through its expansion:
+    per-twig structure validators (Algorithm 1's final filter), the
+    optional partial validators and A-D value-pair prefilter indexes,
+    and which global attributes belong to which twig."""
+
+    twig_attrs: dict[str, set[str]] = field(default_factory=dict)
+    validators: "dict[str, StructureValidator]" = field(default_factory=dict)
+    partial_validators: "dict[str, PartialStructureValidator]" = \
+        field(default_factory=dict)
+    ad_indexes: "list[tuple[str, str, str, ADValueIndex]]" = \
+        field(default_factory=list)
+
+
+def _global_order(schemas: Sequence[Sequence[str]],
+                  order: Sequence[str] | None) -> tuple[str, ...]:
+    """Resolve/validate a global attribute order over the input schemas."""
+    all_attrs: list[str] = []
+    for schema in schemas:
+        for attribute in schema:
+            if attribute not in all_attrs:
+                all_attrs.append(attribute)
+    if order is None:
+        return tuple(all_attrs)
+    order = tuple(order)
+    if sorted(order) != sorted(all_attrs):
+        raise QueryError(
+            f"attribute order {list(order)!r} must be a permutation of the "
+            f"query attributes {sorted(all_attrs)!r}")
+    return order
+
+
+class EncodedInstance:
+    """Everything a :class:`JoinAlgorithm` needs, built once per query."""
+
+    __slots__ = ("name", "order", "dictionaries", "tries", "participation",
+                 "relations", "query", "twig_filters", "erase_structural",
+                 "_level_values")
+
+    def __init__(self, name: str, order: tuple[str, ...],
+                 dictionaries: dict[str, Dictionary],
+                 tries: list[EncodedTrie], *,
+                 relations: Sequence[Relation] = (),
+                 query: "MultiModelQuery | None" = None,
+                 twig_filters: TwigFilters | None = None,
+                 erase_structural: bool = False):
+        self.name = name
+        self.order = order
+        self.dictionaries = dictionaries
+        self.tries = tries
+        self.relations = list(relations)
+        self.query = query
+        self.twig_filters = twig_filters
+        self.erase_structural = erase_structural
+        #: participation[level] = indexes of the tries binding that level.
+        self.participation: list[list[int]] = [[] for _ in order]
+        for index, trie in enumerate(tries):
+            for attribute in trie.order:
+                self.participation[order.index(attribute)].append(index)
+        #: Per-level decode tables (value tuple of the level's dictionary).
+        self._level_values: list[tuple[Value, ...]] = [
+            dictionaries[a].values if a in dictionaries else ()
+            for a in order]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_relations(cls, relations: Sequence[Relation],
+                       order: Sequence[str] | None = None, *,
+                       name: str = "Q") -> "EncodedInstance":
+        """Encode a purely relational natural-join query."""
+        resolved = _global_order([r.schema.attributes for r in relations],
+                                 order)
+        builder = DictionaryBuilder()
+        for relation in relations:
+            builder.add_relation(relation)
+        dictionaries = builder.build()
+        tries = []
+        for relation in relations:
+            trie_order = relation.schema.restrict_order(resolved)
+            positions = relation.schema.positions(trie_order)
+            encoded = encode_rows(relation.rows, positions,
+                                  [dictionaries[a] for a in trie_order])
+            tries.append(EncodedTrie(relation.name, trie_order, encoded))
+        return cls(name, resolved, dictionaries, tries, relations=relations)
+
+    @classmethod
+    def reference(cls, query: "MultiModelQuery") -> "EncodedInstance":
+        """A trie-less instance for operators that evaluate from the
+        source inputs (the baseline foil): carries the query, builds no
+        dictionaries or tries."""
+        return cls(query.name, (), {}, [], relations=query.relations,
+                   query=query)
+
+    @classmethod
+    def from_query(cls, query: "MultiModelQuery",
+                   order: Sequence[str], *,
+                   validate_structure: bool = True,
+                   ad_prefilter: bool = False,
+                   partial_validation: bool = False) -> "EncodedInstance":
+        """Encode a multi-model query: relations plus the twigs'
+        decomposed root-leaf path relations, all over shared dictionaries.
+
+        ``order`` must already be resolved (see
+        :func:`repro.core.planner.attribute_order`).
+        """
+        from repro.core.decomposition import iter_path_value_rows
+        from repro.core.validation import (
+            ADValueIndex,
+            PartialStructureValidator,
+            StructureValidator,
+        )
+
+        expansion = tuple(order)
+        structural = {binding.name: query.structural_attributes(binding)
+                      for binding in query.twigs}
+
+        # Gather each path relation's distinct value rows once (a
+        # transient set, not a Relation); both the dictionary builder
+        # and the trie build read them, so a single document walk pays
+        # for both.
+        path_inputs: list[tuple[str, tuple[str, ...], set[tuple]]] = []
+        for binding in query.twigs:
+            for path in query.decompositions[binding.name].paths:
+                rows = set(iter_path_value_rows(binding.document, path,
+                                                structural[binding.name]))
+                path_inputs.append((path.name, path.attributes, rows))
+
+        builder = DictionaryBuilder()
+        for relation in query.relations:
+            builder.add_relation(relation)
+        for _name, attributes, rows in path_inputs:
+            builder.add_rows(attributes, rows)
+        dictionaries = builder.build()
+        # Attributes no input binds cannot occur for a valid query, but
+        # keep decode total for them anyway.
+        for attribute in expansion:
+            dictionaries.setdefault(attribute, Dictionary(attribute, ()))
+
+        tries: list[EncodedTrie] = []
+        for relation in query.relations:
+            trie_order = relation.schema.restrict_order(expansion)
+            positions = relation.schema.positions(trie_order)
+            encoded = encode_rows(relation.rows, positions,
+                                  [dictionaries[a] for a in trie_order])
+            tries.append(EncodedTrie(relation.name, trie_order, encoded))
+        for path_name, attributes, rows in path_inputs:
+            trie_order = Schema(attributes).restrict_order(expansion)
+            positions = tuple(attributes.index(a) for a in trie_order)
+            encoded = encode_rows(rows, positions,
+                                  [dictionaries[a] for a in trie_order])
+            tries.append(EncodedTrie(path_name, trie_order, encoded))
+
+        filters = TwigFilters(
+            twig_attrs={binding.name: set(binding.twig.attributes)
+                        for binding in query.twigs})
+        if validate_structure:
+            filters.validators = {
+                binding.name: StructureValidator(binding.document,
+                                                 binding.twig)
+                for binding in query.twigs}
+        if partial_validation:
+            filters.partial_validators = {
+                binding.name: PartialStructureValidator(binding.document,
+                                                        binding.twig)
+                for binding in query.twigs}
+        if ad_prefilter:
+            for binding in query.twigs:
+                for upper, lower in binding.twig.ad_edges():
+                    filters.ad_indexes.append(
+                        (binding.name, upper.name, lower.name,
+                         ADValueIndex(binding, upper.name, lower.name,
+                                      structural[binding.name])))
+
+        return cls(query.name, expansion, dictionaries, tries,
+                   relations=query.relations, query=query,
+                   twig_filters=filters,
+                   erase_structural=any(structural.values()))
+
+    # -- helpers for algorithms -------------------------------------------
+
+    def has_empty_input(self) -> bool:
+        """Any empty input (of positive arity) empties the whole join."""
+        return any(trie.depth > 0 and not trie.root.keys
+                   for trie in self.tries)
+
+    def decode_row(self, codes: Sequence[int]) -> tuple[Value, ...]:
+        return tuple(values[code]
+                     for values, code in zip(self._level_values, codes))
+
+    def decode_value(self, level: int, code: int) -> Value:
+        return self._level_values[level][code]
+
+    def result_relation(self, code_rows: Sequence[Sequence[int]],
+                        name: str | None = None) -> Relation:
+        """Decode emitted code rows into a relation over ``order``."""
+        if not self.order:
+            decoded: "Iterable[tuple[Value, ...]]" = [() for _ in code_rows]
+        elif code_rows:
+            # Column-wise decode (transpose, index, transpose back) keeps
+            # the per-value work in C-level loops.
+            columns = [[values[code] for code in column]
+                       for values, column in zip(self._level_values,
+                                                 zip(*code_rows))]
+            decoded = zip(*columns)
+        else:
+            decoded = []
+        return Relation(name or self.name, Schema(self.order), decoded)
+
+    def __repr__(self) -> str:
+        return (f"EncodedInstance({self.name!r}, order={list(self.order)!r}, "
+                f"{len(self.tries)} tries)")

@@ -1,0 +1,290 @@
+"""Stats-driven planning: attribute orders and algorithm choice.
+
+Any attribute order keeps the worst-case optimal algorithms optimal (the
+bound argument is order-independent), but constants differ wildly — the
+``bench_ablation_order`` benchmark quantifies this. The planner chooses
+both the expansion order and the algorithm from *cached* statistics:
+per-relation :class:`~repro.relational.statistics.RelationStats` (shared
+through a weakref-evicting cache, so repeated planning of the same inputs
+never rescans ``distinct_values`` and dropped inputs are never pinned)
+plus per-twig-node candidate counts.
+
+Order policies, preserved from the pre-engine planner as named strategies:
+
+* ``appearance`` — relational schemas first, then twig pre-order (default).
+* ``domain`` — globally sort by estimated candidate-domain size.
+* ``connected`` — greedy: start from the attribute with the smallest
+  candidate domain, then repeatedly pick an attribute sharing a hyperedge
+  with the bound set, avoiding accidental cartesian expansions.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.encoded import EncodedInstance
+from repro.engine.interface import available_algorithms, get_algorithm
+from repro.errors import PlanError
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.relation import Relation
+from repro.relational.statistics import RelationStats, relation_stats
+
+if TYPE_CHECKING:
+    from repro.core.multimodel import MultiModelQuery
+
+# ---------------------------------------------------------------------------
+# cached statistics
+# ---------------------------------------------------------------------------
+
+#: id(relation) -> (weakref, stats). Keyed by id for O(1) lookup without
+#: hashing the row set; the weakref's eviction callback removes the entry
+#: the moment the relation is collected, so the cache never pins inputs
+#: (and a recycled id can never alias a dead entry).
+_RELATION_STATS_CACHE: "dict[int, tuple[weakref.ref, RelationStats]]" = {}
+
+
+def cached_relation_stats(relation: Relation) -> RelationStats:
+    """:func:`relation_stats`, memoised per (live) relation object."""
+    key = id(relation)
+    entry = _RELATION_STATS_CACHE.get(key)
+    if entry is not None and entry[0]() is relation:
+        return entry[1]
+    stats = relation_stats(relation)
+
+    def evict(_ref: weakref.ref, key: int = key) -> None:
+        _RELATION_STATS_CACHE.pop(key, None)
+
+    _RELATION_STATS_CACHE[key] = (weakref.ref(relation, evict), stats)
+    return stats
+
+
+class QueryStatistics:
+    """Cached per-input statistics for one multi-model query.
+
+    Relation columns come from the shared :func:`cached_relation_stats`
+    cache; twig-node candidate-value counts are computed once per
+    instance. ``domain_estimate(a)`` is the smallest number of distinct
+    values any input offers for attribute ``a`` — the planner's
+    candidate-domain estimate.
+    """
+
+    def __init__(self, query: "MultiModelQuery"):
+        # Held weakly so the memoised statistics never pin a dropped
+        # query (and its documents) in the module-level cache.
+        self._query_ref = weakref.ref(query)
+        self._estimates: dict[str, int] | None = None
+
+    @property
+    def query(self) -> "MultiModelQuery":
+        query = self._query_ref()
+        if query is None:
+            raise PlanError(
+                "the query behind these statistics has been released")
+        return query
+
+    def relation_stats(self, relation: Relation) -> RelationStats:
+        return cached_relation_stats(relation)
+
+    def domain_estimates(self) -> dict[str, int]:
+        if self._estimates is not None:
+            return self._estimates
+        estimates: dict[str, int] = {}
+
+        def shrink(attribute: str, count: int) -> None:
+            current = estimates.get(attribute)
+            if current is None or count < current:
+                estimates[attribute] = count
+
+        for relation in self.query.relations:
+            stats = self.relation_stats(relation)
+            for attribute, column in stats.columns.items():
+                shrink(attribute, column.distinct)
+        for binding in self.query.twigs:
+            for query_node in binding.twig.nodes():
+                values = {node.value
+                          for node in binding.document.nodes(query_node.tag)
+                          if query_node.matches_value(node.value)}
+                shrink(query_node.name, len(values))
+        self._estimates = estimates
+        return estimates
+
+    def domain_estimate(self, attribute: str) -> int:
+        return self.domain_estimates().get(attribute, 0)
+
+
+#: Same weakref-evicting scheme as the relation cache: entries vanish
+#: with their query, so nothing is pinned across queries.
+_QUERY_STATS_CACHE: "dict[int, tuple[weakref.ref, QueryStatistics]]" = {}
+
+
+def statistics_for(query: "MultiModelQuery") -> QueryStatistics:
+    """The (memoised) :class:`QueryStatistics` of *query*."""
+    key = id(query)
+    entry = _QUERY_STATS_CACHE.get(key)
+    if entry is not None and entry[0]() is query:
+        return entry[1]
+    stats = QueryStatistics(query)
+
+    def evict(_ref: weakref.ref, key: int = key) -> None:
+        _QUERY_STATS_CACHE.pop(key, None)
+
+    _QUERY_STATS_CACHE[key] = (weakref.ref(query, evict), stats)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# order strategies
+# ---------------------------------------------------------------------------
+
+def appearance_order(query: "MultiModelQuery") -> tuple[str, ...]:
+    """Relational attributes first, then twig attributes, as they appear."""
+    return query.attributes
+
+
+def domain_order(query: "MultiModelQuery") -> tuple[str, ...]:
+    """Attributes sorted by estimated domain size (smallest first)."""
+    estimates = statistics_for(query).domain_estimates()
+    return tuple(sorted(query.attributes,
+                        key=lambda a: (estimates.get(a, 0), a)))
+
+
+def connected_order(query: "MultiModelQuery") -> tuple[str, ...]:
+    """Greedy connected order over the query hypergraph."""
+    graph = query.hypergraph(with_cardinalities=False)
+    estimates = statistics_for(query).domain_estimates()
+    remaining = set(query.attributes)
+    order: list[str] = []
+
+    def neighbours(attribute: str) -> set[str]:
+        out: set[str] = set()
+        for edge in graph.edges_covering(attribute):
+            out.update(edge.vertices)
+        out.discard(attribute)
+        return out
+
+    connected: set[str] = set()
+    while remaining:
+        if connected & remaining:
+            pool = connected & remaining
+        else:
+            pool = remaining  # start (or restart on a disconnected part)
+        pick = min(pool, key=lambda a: (estimates.get(a, 0), a))
+        order.append(pick)
+        remaining.discard(pick)
+        connected.update(neighbours(pick))
+    return tuple(order)
+
+
+ORDER_STRATEGIES: dict[str, Callable[["MultiModelQuery"],
+                                     tuple[str, ...]]] = {
+    "appearance": appearance_order,
+    "domain": domain_order,
+    "connected": connected_order,
+}
+
+
+def attribute_order(query: "MultiModelQuery",
+                    order: "str | tuple[str, ...] | list[str] | None" = None
+                    ) -> tuple[str, ...]:
+    """Resolve an order argument: a strategy name, an explicit order, or
+    None (the ``appearance`` default)."""
+    if order is None:
+        return appearance_order(query)
+    if isinstance(order, str):
+        try:
+            strategy = ORDER_STRATEGIES[order]
+        except KeyError:
+            raise PlanError(
+                f"unknown order policy {order!r}; "
+                f"choose from {sorted(ORDER_STRATEGIES)!r}") from None
+        return strategy(query)
+    explicit = tuple(order)
+    if sorted(explicit) != sorted(query.attributes):
+        raise PlanError(
+            f"order {list(explicit)!r} is not a permutation of the query "
+            f"attributes {sorted(query.attributes)!r}")
+    return explicit
+
+
+# ---------------------------------------------------------------------------
+# query plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One planned execution: an expansion order plus an algorithm name."""
+
+    order: tuple[str, ...]
+    algorithm: str
+    policy: str
+
+    def __repr__(self) -> str:
+        return (f"QueryPlan({self.algorithm!r}, policy={self.policy!r}, "
+                f"order={list(self.order)!r})")
+
+
+def choose_order_policy(query: "MultiModelQuery") -> str:
+    """Pick an order policy from the domain-size spread.
+
+    Uniform domains gain nothing from reordering, so keep the appearance
+    order; skewed domains (some attribute much more selective than
+    another) benefit from expanding small, connected domains first.
+    """
+    estimates = statistics_for(query).domain_estimates()
+    sizes = [size for size in estimates.values() if size > 0]
+    if len(sizes) >= 2 and max(sizes) >= 4 * min(sizes):
+        return "connected"
+    return "appearance"
+
+
+def choose_algorithm(query: "MultiModelQuery") -> str:
+    """Pick an algorithm: XJoin whenever a twig participates (it is the
+    only worst-case optimal operator over the combined hypergraph);
+    hashed generic join for purely relational queries, where its dict
+    probes beat LFTJ's seek bookkeeping on this substrate."""
+    if query.twigs:
+        return "xjoin"
+    return "generic_join"
+
+
+def plan_query(query: "MultiModelQuery", *,
+               order: "str | tuple[str, ...] | list[str] | None" = None,
+               algorithm: str | None = None) -> QueryPlan:
+    """Resolve order and algorithm for *query* (explicit args win)."""
+    if algorithm is None:
+        algorithm = choose_algorithm(query)
+    elif algorithm not in available_algorithms():
+        raise PlanError(
+            f"unknown join algorithm {algorithm!r}; "
+            f"choose from {available_algorithms()!r}")
+    if order is None:
+        policy = choose_order_policy(query)
+        resolved = attribute_order(query, policy)
+    else:
+        policy = order if isinstance(order, str) else "given"
+        resolved = attribute_order(query, order)
+    return QueryPlan(order=resolved, algorithm=algorithm, policy=policy)
+
+
+def run_query(query: "MultiModelQuery", *,
+              order: "str | tuple[str, ...] | list[str] | None" = None,
+              algorithm: str | None = None,
+              stats: JoinStats | None = None) -> Relation:
+    """Plan and evaluate *query* through the encoded engine."""
+    stats = ensure_stats(stats)
+    plan = plan_query(query, order=order, algorithm=algorithm)
+    if plan.algorithm == "baseline":
+        # The baseline evaluates from the source inputs; building the
+        # encoded tries would be pure wasted (and misattributed) work.
+        instance = EncodedInstance.reference(query)
+    else:
+        with stats.phase("encode"):
+            instance = EncodedInstance.from_query(query, plan.order)
+    result = get_algorithm(plan.algorithm).run(instance, stats=stats)
+    # xjoin/baseline already project onto the query attributes; only the
+    # relational kernels return rows over the full expansion order.
+    if result.schema.attributes != query.attributes:
+        result = result.project(query.attributes, name=query.name)
+    return result

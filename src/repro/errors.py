@@ -50,3 +50,8 @@ class LPError(ReproError):
 
 class PlanError(ReproError):
     """A join plan or attribute order is invalid for the given query."""
+
+
+class EngineError(ReproError):
+    """The encoded execution engine was misused (unknown algorithm,
+    value outside an encoded domain, instance/algorithm mismatch, ...)."""

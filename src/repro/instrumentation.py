@@ -12,6 +12,7 @@ no-ops.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
@@ -39,6 +40,7 @@ class JoinStats:
         self.emitted: int = 0
         self.filtered: int = 0
         self.wall_time: float = 0.0
+        self.phase_times: dict[str, float] = {}
         self._start: float | None = None
 
     # -- stage accounting ------------------------------------------------
@@ -73,6 +75,20 @@ class JoinStats:
         if self._start is not None:
             self.wall_time += time.perf_counter() - self._start
             self._start = None
+
+    def record_phase(self, label: str, seconds: float) -> None:
+        """Accumulate time spent in a named execution phase (e.g. the
+        engine's dictionary-encoding step vs the join proper)."""
+        self.phase_times[label] = self.phase_times.get(label, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, label: str):
+        """Context manager timing one phase into :attr:`phase_times`."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record_phase(label, time.perf_counter() - start)
 
     # -- reporting ---------------------------------------------------------
 
@@ -118,6 +134,9 @@ class _NullStats(JoinStats):
         pass
 
     def stop_timer(self) -> None:  # noqa: D102
+        pass
+
+    def record_phase(self, label: str, seconds: float) -> None:  # noqa: D102
         pass
 
 

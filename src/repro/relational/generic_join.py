@@ -8,36 +8,22 @@ generic join (Ngo et al. 2012, 2014).
 
 Unlike :mod:`repro.relational.leapfrog` this implementation uses hashed
 trie descent instead of sorted seeks; the two are cross-checked in tests
-and raced in the triangle benchmark.
+and raced in the triangle benchmark. Both run through the shared
+dictionary-encoded engine (:mod:`repro.engine`): this module is a thin
+front-end that encodes the inputs into an
+:class:`~repro.engine.encoded.EncodedInstance` and invokes the registered
+``generic_join`` operator.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.errors import QueryError
+from repro.engine.algorithms import GENERIC_JOIN
+from repro.engine.encoded import EncodedInstance
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema, Value
-from repro.relational.trie import Trie, TrieNode
-
-
-def _global_order(relations: Sequence[Relation],
-                  order: Sequence[str] | None) -> tuple[str, ...]:
-    all_attrs: list[str] = []
-    for relation in relations:
-        for attribute in relation.schema:
-            if attribute not in all_attrs:
-                all_attrs.append(attribute)
-    if order is None:
-        return tuple(all_attrs)
-    order = tuple(order)
-    if sorted(order) != sorted(all_attrs):
-        raise QueryError(
-            f"attribute order {list(order)!r} must be a permutation of the "
-            f"query attributes {sorted(all_attrs)!r}"
-        )
-    return order
+from repro.relational.schema import Schema
 
 
 def generic_join(relations: Sequence[Relation],
@@ -48,63 +34,7 @@ def generic_join(relations: Sequence[Relation],
     stats = ensure_stats(stats)
     if not relations:
         return Relation(name, Schema(()), [()])
-    order = _global_order(relations, order)
-    depth = len(order)
-
-    tries = [Trie(r, r.schema.restrict_order(order)) for r in relations]
-    # participants[level] = list of trie indexes whose next own level is
-    # this global level.
-    participation: list[list[int]] = [[] for _ in order]
-    for index, trie in enumerate(tries):
-        for attribute in trie.order:
-            participation[order.index(attribute)].append(index)
-
-    stats.start_timer()
-    rows: list[tuple[Value, ...]] = []
-    binding: list[Value] = []
-    # Current trie node per relation (None = relation not yet entered or
-    # pruned); start at each root.
-    nodes: list[TrieNode | None] = [t.root for t in tries]
-    alive = [0] * depth
-
-    def search(level: int) -> None:
-        participants = participation[level]
-        candidate_nodes = [nodes[i] for i in participants]
-        # Choose the relation with the fewest continuations as the seed.
-        seed_position = min(range(len(participants)),
-                            key=lambda i: len(candidate_nodes[i].children))
-        seed_node = candidate_nodes[seed_position]
-        for value in seed_node.sorted_keys:
-            children = []
-            feasible = True
-            for node in candidate_nodes:
-                stats.count_seeks()
-                child = node.children.get(value)
-                if child is None:
-                    feasible = False
-                    break
-                children.append(child)
-            if not feasible:
-                continue
-            saved = [nodes[i] for i in participants]
-            for participant, child in zip(participants, children):
-                nodes[participant] = child
-            binding.append(value)
-            alive[level] += 1
-            if level + 1 == depth:
-                rows.append(tuple(binding))
-                stats.count_emitted()
-            else:
-                search(level + 1)
-            binding.pop()
-            for participant, old in zip(participants, saved):
-                nodes[participant] = old
-
-    if depth == 0:
-        rows.append(())
-    else:
-        search(0)
-        for level, count in enumerate(alive):
-            stats.record_stage(f"level {order[level]}", count)
-    stats.stop_timer()
-    return Relation(name, Schema(order), rows)
+    with stats.phase("encode"):
+        instance = EncodedInstance.from_relations(relations, order,
+                                                  name=name)
+    return GENERIC_JOIN.run(instance, stats=stats)

@@ -3,21 +3,23 @@ worst-case optimal relational join.
 
 Two layers: :func:`leapfrog_intersect`, the unary leapfrog over
 :class:`~repro.relational.iterators.LinearIterator` instances, and
-:func:`leapfrog_triejoin`, the full multiway join driving one
-:class:`~repro.relational.trie.TrieIterator` per relation through a global
-attribute order.
+:func:`leapfrog_triejoin`, the full multiway join. The multiway join runs
+through the shared dictionary-encoded engine (:mod:`repro.engine`): with
+per-attribute domains encoded to dense ints in value order, the trie
+seeks compare plain integers instead of materialising
+:func:`~repro.relational.schema.sort_key` tuples per comparison.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
-from repro.errors import QueryError
+from repro.engine.algorithms import LEAPFROG
+from repro.engine.encoded import EncodedInstance
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.iterators import LinearIterator
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, Value, sort_key
-from repro.relational.trie import Trie, TrieIterator
 
 
 def leapfrog_intersect(iterators: Sequence[LinearIterator], *,
@@ -25,7 +27,9 @@ def leapfrog_intersect(iterators: Sequence[LinearIterator], *,
     """Yield the intersection of the iterators' value sequences, in order.
 
     The classic leapfrog: repeatedly seek the lagging iterator to the
-    current maximum until all iterators agree on a key.
+    current maximum until all iterators agree on a key. This standalone
+    form works over raw (unencoded) values, hence the sort_key calls; the
+    multiway join below leapfrogs over encoded ints instead.
     """
     stats = ensure_stats(stats)
     if not iterators:
@@ -69,82 +73,7 @@ def leapfrog_triejoin(relations: Sequence[Relation],
     stats = ensure_stats(stats)
     if not relations:
         return Relation(name, Schema(()), [()])
-
-    all_attrs: list[str] = []
-    for relation in relations:
-        for attribute in relation.schema:
-            if attribute not in all_attrs:
-                all_attrs.append(attribute)
-    if order is None:
-        order = tuple(all_attrs)
-    else:
-        order = tuple(order)
-        if sorted(order) != sorted(all_attrs):
-            raise QueryError(
-                f"attribute order {list(order)!r} must be a permutation of "
-                f"the query attributes {sorted(all_attrs)!r}"
-            )
-
-    tries = [Trie(r, r.schema.restrict_order(order)) for r in relations]
-    iterators = [TrieIterator(t) for t in tries]
-    # Which trie iterators participate at each attribute level, and at
-    # which of their own levels.
-    participants: list[list[TrieIterator]] = [[] for _ in order]
-    for trie, it in zip(tries, iterators):
-        for attribute in trie.order:
-            participants[order.index(attribute)].append(it)
-
-    stats.start_timer()
-    rows: list[tuple[Value, ...]] = []
-    binding: list[Value] = []
-    depth = len(order)
-
-    def search(level: int, alive_at_level: list[int]) -> None:
-        its = participants[level]
-        for it in its:
-            it.open()
-        produced = 0
-        if not any(it.at_end() for it in its):
-            # Leapfrog across the participants of this level.
-            its_sorted = sorted(its, key=lambda i: sort_key(i.key()))
-            p = 0
-            max_key = its_sorted[-1].key()
-            while True:
-                it = its_sorted[p]
-                least = it.key()
-                stats.count_comparisons()
-                if sort_key(least) == sort_key(max_key):
-                    binding.append(least)
-                    produced += 1
-                    if level + 1 == depth:
-                        rows.append(tuple(binding))
-                        stats.count_emitted()
-                    else:
-                        search(level + 1, alive_at_level)
-                    binding.pop()
-                    it.next()
-                    stats.count_seeks()
-                    if it.at_end():
-                        break
-                    max_key = it.key()
-                else:
-                    it.seek(max_key)
-                    stats.count_seeks()
-                    if it.at_end():
-                        break
-                    max_key = it.key()
-                p = (p + 1) % len(its_sorted)
-        alive_at_level[level] += produced
-        for it in its:
-            it.up()
-
-    if depth == 0:
-        rows.append(())
-    else:
-        alive = [0] * depth
-        search(0, alive)
-        for level, count in enumerate(alive):
-            stats.record_stage(f"level {order[level]}", count)
-    stats.stop_timer()
-    result = Relation(name, Schema(order), rows)
-    return result
+    with stats.phase("encode"):
+        instance = EncodedInstance.from_relations(relations, order,
+                                                  name=name)
+    return LEAPFROG.run(instance, stats=stats)

@@ -26,7 +26,9 @@ class Relation:
     [(1,)]
     """
 
-    __slots__ = ("name", "schema", "_rows")
+    # __weakref__ lets the engine's statistics cache hold relations
+    # weakly (repro.engine.planner.cached_relation_stats).
+    __slots__ = ("name", "schema", "_rows", "__weakref__")
 
     def __init__(self, name: str, schema: Schema | Sequence[str],
                  rows: Iterable[Sequence[Value]] = ()):

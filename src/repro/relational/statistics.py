@@ -20,8 +20,13 @@ class ColumnStats:
 
     @property
     def selectivity(self) -> float:
-        """Fraction of the domain an equality predicate keeps (1/distinct)."""
-        return 1.0 / self.distinct if self.distinct else 0.0
+        """Fraction of the domain an equality predicate keeps (1/distinct).
+
+        An empty column carries no information, so its selectivity is the
+        *unknown* estimate 1.0 (keep everything) rather than 0.0 — a zero
+        would make cost models silently drop whole plan subtrees.
+        """
+        return 1.0 / self.distinct if self.distinct else 1.0
 
 
 @dataclass(frozen=True)

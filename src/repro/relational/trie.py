@@ -88,8 +88,10 @@ class Trie:
         """Build a trie directly from an iterable of rows.
 
         Rows are consumed once and deduplicated by the trie structure
-        itself — no intermediate relation is materialised (XJoin uses this
-        to index XML path chains without "physically transforming" them).
+        itself — no intermediate relation is materialised. (The encoded
+        engine's :class:`repro.engine.encoded.EncodedTrie` supersedes
+        this on XJoin's hot path; this value-keyed variant remains the
+        reference index used by the iterator/operator tests.)
         """
         attributes = tuple(attributes)
         if order is None:

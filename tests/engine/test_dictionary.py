@@ -1,0 +1,102 @@
+"""Tests for the dictionary-encoding layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.dictionary import Dictionary, DictionaryBuilder, encode_rows
+from repro.errors import EngineError
+from repro.relational.relation import Relation
+from repro.relational.schema import sort_key
+
+mixed_values = st.one_of(
+    st.integers(-50, 50),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=6),
+    st.binary(max_size=4),
+    st.none(),
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+)
+
+
+class TestDictionary:
+    def test_round_trip_mixed_types(self):
+        domain = [3, "b", 1.5, None, "a", 7, b"x", (1, 2)]
+        d = Dictionary("a", domain)
+        for value in domain:
+            assert d.decode(d.encode(value)) == value
+
+    def test_codes_are_dense_and_value_ordered(self):
+        d = Dictionary("a", ["z", 10, 2, "a"])
+        assert sorted(d.codes.values()) == [0, 1, 2, 3]
+        assert list(d.values) == sorted(d.values, key=sort_key)
+        # code order == value order, pairwise.
+        for small, large in zip(d.values, d.values[1:]):
+            assert d.encode(small) < d.encode(large)
+
+    def test_duplicates_collapse(self):
+        d = Dictionary("a", [1, 1, 2, 2, 2])
+        assert len(d) == 2
+
+    def test_unknown_value_raises(self):
+        d = Dictionary("a", [1, 2])
+        with pytest.raises(EngineError):
+            d.encode(99)
+        assert d.encode_or_none(99) is None
+
+    def test_out_of_range_code_raises(self):
+        d = Dictionary("a", [1])
+        with pytest.raises(EngineError):
+            d.decode(5)
+
+    def test_contains(self):
+        d = Dictionary("a", ["x"])
+        assert "x" in d
+        assert "y" not in d
+
+    @given(st.sets(mixed_values, max_size=30))
+    def test_round_trip_random_domains(self, domain):
+        d = Dictionary("a", domain)
+        assert len(d) == len(domain)
+        decoded = {d.decode(code) for code in range(len(d))}
+        assert decoded == set(domain)
+
+
+class TestDictionaryBuilder:
+    def test_domains_shared_across_inputs(self):
+        r = Relation("R", ("a", "b"), [(1, "x"), (2, "y")])
+        builder = DictionaryBuilder()
+        builder.add_relation(r)
+        builder.add_rows(("a",), [(3,), (1,)])
+        builder.add_values("a", [4])
+        dictionaries = builder.build()
+        assert set(dictionaries) == {"a", "b"}
+        assert set(dictionaries["a"].values) == {1, 2, 3, 4}
+        assert set(dictionaries["b"].values) == {"x", "y"}
+
+    def test_same_value_same_code_across_sources(self):
+        """The join property: one dictionary per attribute means a value
+        encodes identically no matter which input contributed it."""
+        r = Relation("R", ("a",), [(1,), (2,)])
+        s = Relation("S", ("a",), [(2,), (3,)])
+        builder = DictionaryBuilder()
+        builder.add_relation(r)
+        builder.add_relation(s)
+        d = builder.build()["a"]
+        assert d.encode(2) == d.encode(2)
+        assert set(d.values) == {1, 2, 3}
+
+
+class TestEncodeRows:
+    def test_column_selection_and_order(self):
+        d_a = Dictionary("a", [10, 20])
+        d_b = Dictionary("b", ["x", "y"])
+        rows = [(10, "y"), (20, "x")]
+        # Encode in reversed attribute order: positions pick the column.
+        encoded = encode_rows(rows, (1, 0), (d_b, d_a))
+        assert encoded == [(d_b.encode("y"), d_a.encode(10)),
+                           (d_b.encode("x"), d_a.encode(20))]
+
+    def test_zero_arity(self):
+        assert encode_rows([(), ()], (), ()) == [(), ()]

@@ -1,0 +1,127 @@
+"""Tests for the stats-driven planner (orders, algorithm choice, caches)."""
+
+import pytest
+
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.data.synthetic import example34_instance
+from repro.engine.planner import (
+    QueryStatistics,
+    cached_relation_stats,
+    choose_algorithm,
+    choose_order_policy,
+    connected_order,
+    domain_order,
+    plan_query,
+    run_query,
+    statistics_for,
+)
+from repro.errors import PlanError
+from repro.relational.relation import Relation
+from repro.xml.model import XMLDocument, element
+from repro.xml.twig_parser import parse_twig
+
+
+class TestCachedStatistics:
+    def test_relation_stats_cached_per_object(self):
+        r = Relation("R", ("a",), [(1,), (2,)])
+        assert cached_relation_stats(r) is cached_relation_stats(r)
+
+    def test_query_statistics_memoised(self):
+        query = MultiModelQuery([Relation("R", ("a",), [(1,)])])
+        assert statistics_for(query) is statistics_for(query)
+
+    def test_caches_release_collected_inputs(self):
+        """Neither cache pins its inputs: collecting the relation/query
+        evicts the entry."""
+        import gc
+        import weakref
+
+        r = Relation("R", ("a",), [(1,)])
+        query = MultiModelQuery([r])
+        cached_relation_stats(r)
+        statistics_for(query).domain_estimates()
+        relation_ref = weakref.ref(r)
+        query_ref = weakref.ref(query)
+        del r, query
+        gc.collect()
+        assert relation_ref() is None
+        assert query_ref() is None
+
+    def test_domain_estimates_computed_once(self):
+        query = MultiModelQuery([Relation("R", ("a", "b"),
+                                          [(1, 2), (1, 3)])])
+        stats = QueryStatistics(query)
+        first = stats.domain_estimates()
+        assert first == {"a": 1, "b": 2}
+        assert stats.domain_estimates() is first
+
+    def test_twig_domains_counted(self):
+        doc = XMLDocument(element("r", element("x", text="7"),
+                                  element("x", text="8")))
+        query = MultiModelQuery([], [TwigBinding(parse_twig("x"), doc)])
+        assert statistics_for(query).domain_estimate("x") == 2
+
+
+class TestOrderPolicies:
+    def test_domain_order_empty_relation_first(self):
+        """Empty domains (estimate 0) sort first — the join is empty and
+        the expansion should discover that immediately."""
+        empty = Relation("E", ("z",))
+        full = Relation("R", ("a", "z"), [(i, i) for i in range(5)])
+        query = MultiModelQuery([full, empty])
+        assert domain_order(query)[0] == "z"
+
+    def test_connected_order_disconnected_hypergraph(self):
+        """A disconnected query restarts greedily instead of failing."""
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        s = Relation("S", ("y", "z"), [(8, 9), (7, 9)])
+        query = MultiModelQuery([r, s])
+        order = connected_order(query)
+        assert sorted(order) == ["a", "b", "y", "z"]
+        # Each relation's attributes stay adjacent (no pointless hop to
+        # the other component mid-relation).
+        positions = {a: i for i, a in enumerate(order)}
+        assert abs(positions["a"] - positions["b"]) == 1
+        assert abs(positions["y"] - positions["z"]) == 1
+
+    def test_connected_order_empty_domain_component(self):
+        query = MultiModelQuery([Relation("E", ("z",)),
+                                 Relation("R", ("a",), [(1,)])])
+        assert sorted(connected_order(query)) == ["a", "z"]
+
+
+class TestPlanChoice:
+    def test_twig_queries_use_xjoin(self):
+        query = example34_instance(2).query
+        assert choose_algorithm(query) == "xjoin"
+        assert plan_query(query).algorithm == "xjoin"
+
+    def test_relational_queries_use_generic_join(self):
+        query = MultiModelQuery([Relation("R", ("a",), [(1,)])])
+        assert choose_algorithm(query) == "generic_join"
+
+    def test_skewed_domains_choose_connected_policy(self):
+        r = Relation("R", ("a", "b"), [(0, i) for i in range(20)])
+        query = MultiModelQuery([r])
+        assert choose_order_policy(query) == "connected"
+
+    def test_uniform_domains_keep_appearance_policy(self):
+        r = Relation("R", ("a", "b"), [(i, i) for i in range(4)])
+        query = MultiModelQuery([r])
+        assert choose_order_policy(query) == "appearance"
+
+    def test_unknown_algorithm_rejected(self):
+        query = MultiModelQuery([Relation("R", ("a",), [(1,)])])
+        with pytest.raises(PlanError):
+            plan_query(query, algorithm="quantum_join")
+
+    def test_explicit_order_recorded_as_given(self):
+        query = MultiModelQuery([Relation("R", ("a", "b"), [(1, 2)])])
+        plan = plan_query(query, order=("b", "a"))
+        assert plan.policy == "given"
+        assert plan.order == ("b", "a")
+
+    def test_run_query_empty_domain(self):
+        query = MultiModelQuery([Relation("E", ("z",)),
+                                 Relation("R", ("z",), [(1,)])])
+        assert len(run_query(query)) == 0

@@ -130,7 +130,9 @@ class TestStatistics:
         stats = column_stats(Relation("R", ("a",)), "a")
         assert stats.distinct == 0
         assert stats.minimum is None
-        assert stats.selectivity == 0.0
+        # Empty columns are *unknown*, not infinitely selective: estimate
+        # "keep everything" so cost models never zero out a subtree.
+        assert stats.selectivity == 1.0
 
     def test_selectivity(self):
         r = Relation("R", ("a",), [(i,) for i in range(4)])

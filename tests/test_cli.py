@@ -30,6 +30,19 @@ class TestCLI:
         assert main(["selftest"]) == 0
         assert "ok" in capsys.readouterr().out
 
+    def test_bench(self, capsys):
+        assert main(["bench", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "generic_join" in out
+        assert "leapfrog" in out
+        assert "xjoin" in out
+
     def test_unknown_command_shows_usage(self, capsys):
         assert main(["wat"]) == 2
-        assert "Commands" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "Commands" in captured.out
+        assert "unknown command" in captured.err
+
+    def test_bad_numeric_argument_exits_nonzero(self, capsys):
+        assert main(["figure3", "six"]) == 2
+        assert "bad argument" in capsys.readouterr().err

@@ -51,7 +51,7 @@ class TestPublicAPI:
                     f"{module.__name__} missing {name}"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_quickstart_from_docstring(self):
         """The README/docstring quickstart must actually run."""
