@@ -1,0 +1,106 @@
+"""Columnar document store vs node-object twig matching.
+
+The columnar refactor's headline claim: TwigStack and TJFast running on
+:class:`~repro.xml.columnar.ColumnarDocument` postings (shared int
+arrays, interned tag paths, pre-parsed values) beat the node-object
+reference implementations (:mod:`repro.xml.reference`, the pre-refactor
+code) on an XMark document. Both variants must agree exactly — the
+timing table is evidence, the equality asserts are the test.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report_table
+
+from repro.xml.columnar import columnar, document_stats
+from repro.xml.model import XMLDocument
+from repro.xml.reference import reference_tjfast, reference_twig_stack
+from repro.xml.tjfast import tjfast
+from repro.xml.twig_parser import parse_twig
+from repro.xml.twigstack import twig_stack
+from repro.xml.xmark import xmark_document
+
+FACTOR = 2.0  # ~200 items / 100 people / 100 auctions
+
+TWIGS = [
+    ("auction bidders", "oa=open_auction(/ir=itemref, //pr=personref)"),
+    ("person interests", "p=person(/nm=name, //i=interest)"),
+    ("items by category", "rg=regions(//it=item(/ic=incategory))"),
+    ("bid increases", "oa=open_auction(//bd=bidder(/inc=increase))"),
+]
+
+
+def _timed(fn, repeat: int = 3):
+    best = None
+    out = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return out, best * 1e3
+
+
+def _fresh_document() -> XMLDocument:
+    return xmark_document(FACTOR, seed=42)
+
+
+def test_columnar_beats_node_objects_table():
+    document = _fresh_document()
+    columnar(document)  # warm the cache: built once per document
+    rows = []
+    for label, pattern in TWIGS:
+        twig = parse_twig(pattern)
+        for algorithm, fast, slow in (
+                ("TwigStack", twig_stack, reference_twig_stack),
+                ("TJFast", tjfast, reference_tjfast)):
+            fast_result, fast_ms = _timed(lambda: fast(document, twig))
+            slow_result, slow_ms = _timed(lambda: slow(document, twig))
+            assert fast_result == slow_result, (label, algorithm)
+            rows.append([f"{label} / {algorithm}", len(fast_result),
+                         f"{slow_ms:.1f}ms", f"{fast_ms:.1f}ms",
+                         f"{slow_ms / max(fast_ms, 1e-6):.1f}x"])
+    report_table(
+        "Columnar postings vs node-object streams (XMark factor "
+        f"{FACTOR:g}, {document.size()} nodes)",
+        ["workload", "|answer|", "node-object", "columnar", "speedup"],
+        rows)
+
+
+def test_columnar_build_is_amortised():
+    """The build runs once per document; repeat queries hit the cache."""
+    document = _fresh_document()
+    first = columnar(document)
+    assert columnar(document) is first
+    assert document_stats(document) is document_stats(document)
+    # Reindexing invalidates: a new version means a new view.
+    document.reindex()
+    assert columnar(document) is not first
+
+
+def test_bench_twigstack_columnar(benchmark):
+    document = _fresh_document()
+    twig = parse_twig(TWIGS[0][1])
+    columnar(document)
+    benchmark(lambda: twig_stack(document, twig))
+
+
+def test_bench_twigstack_reference(benchmark):
+    document = _fresh_document()
+    twig = parse_twig(TWIGS[0][1])
+    benchmark(lambda: reference_twig_stack(document, twig))
+
+
+def test_bench_tjfast_columnar(benchmark):
+    document = _fresh_document()
+    twig = parse_twig(TWIGS[1][1])
+    columnar(document)
+    benchmark(lambda: tjfast(document, twig))
+
+
+def test_bench_tjfast_reference(benchmark):
+    document = _fresh_document()
+    twig = parse_twig(TWIGS[1][1])
+    benchmark(lambda: reference_tjfast(document, twig))

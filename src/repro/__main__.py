@@ -6,7 +6,18 @@ Commands:
 * ``bounds``   — Figure 2 decomposition + Example 3.3 exact bounds
 * ``figure3 [n]`` — baseline vs XJoin on the adversarial instance
 * ``bench [n]``   — race the engine's algorithms on the standard scenarios
+  (``--suite twig`` races the registered twig matchers on an XMark
+  document instead)
 * ``selftest`` — a quick cross-algorithm consistency check
+
+Options:
+
+* ``--twig-algorithm NAME`` — force one registered twig matcher
+  (``twigstack``/``tjfast``/``pathstack``/``structural``/``naive``)
+  instead of the planner's stats-driven choice, for A/B runs on the
+  multi-model scenarios. Applies to ``figure3``, ``bench`` and
+  ``selftest``.
+* ``--suite NAME`` — ``bench`` suite: ``engine`` (default) or ``twig``.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from repro.data.synthetic import (
     example34_instance,
     figure2_twig,
 )
+from repro.errors import TwigError
 from repro.instrumentation import JoinStats
 
 
@@ -51,14 +63,15 @@ def cmd_bounds() -> int:
     return 0
 
 
-def cmd_figure3(n: int = 6) -> int:
+def cmd_figure3(n: int = 6, twig_algorithm: str | None = None) -> int:
     instance = example34_instance(n)
     xstats, bstats = JoinStats(), JoinStats()
     start = time.perf_counter()
     xresult = xjoin(instance.query, stats=xstats)
     xtime = time.perf_counter() - start
     start = time.perf_counter()
-    bresult = baseline_join(instance.query, stats=bstats)
+    bresult = baseline_join(instance.query, twig_algorithm=twig_algorithm,
+                            stats=bstats)
     btime = time.perf_counter() - start
     assert xresult == bresult
     print(f"n={n}: |Q|={len(xresult)}")
@@ -71,7 +84,7 @@ def cmd_figure3(n: int = 6) -> int:
     return 0
 
 
-def cmd_bench(n: int = 150) -> int:
+def cmd_bench(n: int = 150, twig_algorithm: str | None = None) -> int:
     """Race the registered engine algorithms on the standard scenarios."""
     from repro.engine.encoded import EncodedInstance
     from repro.engine.interface import get_algorithm
@@ -108,7 +121,9 @@ def cmd_bench(n: int = 150) -> int:
     print(f"figure 3 scenario (n={m}):")
     xresult, ms = timed(lambda: xjoin(instance34.query))
     print(f"  {'xjoin':<14} {ms:8.2f}ms  |Q|={len(xresult)}")
-    bresult, ms = timed(lambda: baseline_join(instance34.query))
+    bresult, ms = timed(
+        lambda: baseline_join(instance34.query,
+                              twig_algorithm=twig_algorithm))
     if bresult != xresult:
         print("error: baseline disagrees with xjoin "
               f"({len(bresult)} vs {len(xresult)} rows)", file=sys.stderr)
@@ -117,14 +132,58 @@ def cmd_bench(n: int = 150) -> int:
     return 0
 
 
-def cmd_selftest() -> int:
+def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None) -> int:
+    """Race the registered twig matchers on an XMark document."""
+    from repro.engine.planner import choose_twig_algorithm
+    from repro.xml.interface import available_twig_algorithms, \
+        get_twig_algorithm
+    from repro.xml.twig_parser import parse_twig
+    from repro.xml.xmark import xmark_document
+
+    factor = max(n, 1) / 500
+    document = xmark_document(factor, seed=7)
+    twigs = [
+        ("auction bidders", "oa=open_auction(/ir=itemref, //pr=personref)"),
+        ("person interests", "p=person(/nm=name, //i=interest)"),
+        ("items by category", "rg=regions(//it=item(/ic=incategory))"),
+        ("bid chain", "oa=open_auction(//bd=bidder(/pr=personref))"),
+    ]
+    names = ([twig_algorithm] if twig_algorithm
+             else available_twig_algorithms())
+    print(f"twig suite (XMark factor {factor:g}, {document.size()} nodes):")
+    for label, pattern in twigs:
+        twig = parse_twig(pattern)
+        planned = choose_twig_algorithm(document, twig)
+        print(f"  {label} [{pattern}] -> planner picks {planned!r}")
+        reference = None
+        for name in names:
+            algorithm = get_twig_algorithm(name)
+            if not algorithm.supports(twig):
+                print(f"    {name:<12} (unsupported)")
+                continue
+            start = time.perf_counter()
+            result = algorithm.run(document, twig)
+            ms = (time.perf_counter() - start) * 1e3
+            if reference is None:
+                reference = result
+            elif result != reference:
+                print(f"error: {name!r} disagrees on {label!r} "
+                      f"({len(result)} vs {len(reference)} rows)",
+                      file=sys.stderr)
+                return 1
+            print(f"    {name:<12} {ms:8.2f}ms  |answer|={len(result)}")
+    return 0
+
+
+def cmd_selftest(twig_algorithm: str | None = None) -> int:
     from repro.data.random_instances import random_multimodel_instance
 
     failures = 0
     for seed in range(20):
         query = random_multimodel_instance(seed)
         naive = query.naive_join()
-        if xjoin(query) != naive or baseline_join(query) != naive:
+        baseline = baseline_join(query, twig_algorithm=twig_algorithm)
+        if xjoin(query) != naive or baseline != naive:
             print(f"MISMATCH at seed {seed}")
             failures += 1
     print("selftest:", "FAILED" if failures else "ok",
@@ -148,8 +207,37 @@ def _int_argument(command: str, args: list[str], default: int) -> int:
         raise _BadArgument from None
 
 
+def _extract_option(args: list[str], flag: str) -> str | None:
+    """Remove ``--flag value`` / ``--flag=value`` from *args*; return the
+    value (or None). A flag with no value is an argument error."""
+    for index, argument in enumerate(args):
+        if argument == flag:
+            if index + 1 >= len(args):
+                print(f"error: {flag} needs a value", file=sys.stderr)
+                raise _BadArgument
+            del args[index]
+            return args.pop(index)
+        if argument.startswith(flag + "="):
+            del args[index]
+            return argument[len(flag) + 1:]
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        twig_algorithm = _extract_option(args, "--twig-algorithm")
+        suite = _extract_option(args, "--suite")
+    except _BadArgument:
+        return 2
+    if twig_algorithm is not None:
+        from repro.xml.interface import available_twig_algorithms
+
+        if twig_algorithm not in available_twig_algorithms():
+            print(f"error: unknown twig algorithm {twig_algorithm!r}; "
+                  f"choose from {available_twig_algorithms()!r}",
+                  file=sys.stderr)
+            return 2
     command = args[0] if args else "figure1"
     try:
         if command == "figure1":
@@ -157,12 +245,24 @@ def main(argv: list[str] | None = None) -> int:
         if command == "bounds":
             return cmd_bounds()
         if command == "figure3":
-            return cmd_figure3(_int_argument(command, args, 6))
+            return cmd_figure3(_int_argument(command, args, 6),
+                               twig_algorithm)
         if command == "bench":
-            return cmd_bench(_int_argument(command, args, 150))
+            if suite not in (None, "engine", "twig"):
+                print(f"error: unknown bench suite {suite!r}; "
+                      "choose from ['engine', 'twig']", file=sys.stderr)
+                return 2
+            n = _int_argument(command, args, 150)
+            if suite == "twig":
+                return cmd_bench_twig(n, twig_algorithm)
+            return cmd_bench(n, twig_algorithm)
         if command == "selftest":
-            return cmd_selftest()
+            return cmd_selftest(twig_algorithm)
     except _BadArgument:
+        return 2
+    except TwigError as exc:
+        # e.g. --twig-algorithm pathstack forced onto a branching twig.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
         # Downstream filter closed the pipe (e.g. ``repro bench | head``);

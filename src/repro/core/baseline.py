@@ -3,7 +3,9 @@
 The traditional way to answer a cross-model query: evaluate the relational
 sub-query Q1 and the twig sub-query Q2 *independently*, each with its own
 engine, then join the two result sets. Each sub-query is evaluated
-optimally for its own model — binary join plans for Q1, TwigStack for Q2 —
+optimally for its own model — binary join plans for Q1, a planner-chosen
+holistic twig matcher for Q2 (TwigStack/TJFast/PathStack, see
+:func:`repro.engine.planner.choose_twig_algorithm`) —
 but the combination is not worst-case optimal for the whole query: Q2 can
 be as large as its own bound (n^5 in the running example) even when the
 combined query's bound is much smaller (n^2).
@@ -25,6 +27,7 @@ what makes it the paper's foil.
 from __future__ import annotations
 
 from repro.core.multimodel import MultiModelQuery
+from repro.errors import TwigError
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.joins import hash_join
 from repro.relational.plans import (
@@ -35,7 +38,7 @@ from repro.relational.plans import (
 )
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
-from repro.xml.twigstack import twig_stack
+from repro.xml.interface import get_twig_algorithm
 
 
 def relational_subquery(query: MultiModelQuery, *,
@@ -58,14 +61,34 @@ def relational_subquery(query: MultiModelQuery, *,
 
 
 def twig_subquery(query: MultiModelQuery, *,
+                  twig_algorithm: str | None = None,
                   stats: JoinStats | None = None) -> Relation:
-    """Q2: join of the twig answers only, each computed by TwigStack."""
+    """Q2: join of the per-twig answers.
+
+    Each twig is evaluated by the matcher the engine planner picks from
+    the document's cached statistics
+    (:func:`repro.engine.planner.choose_twig_algorithm`), or by
+    *twig_algorithm* when the caller forces one (the CLI's
+    ``--twig-algorithm`` A/B override).
+    """
     stats = ensure_stats(stats)
     if not query.twigs:
         return Relation("Q2", Schema(()), [()])
+    # Imported lazily: the planner module imports nothing from core at
+    # module level, but keep the boundary one-directional regardless.
+    from repro.engine.planner import choose_twig_algorithm
+
     result: Relation | None = None
     for binding in query.twigs:
-        answer = twig_stack(binding.document, binding.twig, stats=stats)
+        name = twig_algorithm or choose_twig_algorithm(binding.document,
+                                                       binding.twig)
+        matcher = get_twig_algorithm(name)
+        if not matcher.supports(binding.twig):
+            raise TwigError(
+                f"twig algorithm {name!r} cannot evaluate twig "
+                f"{binding.name!r} ('pathstack' handles linear paths "
+                f"only)")
+        answer = matcher.run(binding.document, binding.twig, stats=stats)
         stats.record_stage(f"twig answer {binding.name}", len(answer))
         if result is None:
             result = answer
@@ -77,12 +100,13 @@ def twig_subquery(query: MultiModelQuery, *,
 
 def baseline_join(query: MultiModelQuery, *,
                   plan: str = "greedy",
+                  twig_algorithm: str | None = None,
                   stats: JoinStats | None = None) -> Relation:
     """The full baseline: Q1 ⋈ Q2 (Example 3.4's "not optimal" plan)."""
     stats = ensure_stats(stats)
     stats.start_timer()
     q1 = relational_subquery(query, plan=plan, stats=stats)
-    q2 = twig_subquery(query, stats=stats)
+    q2 = twig_subquery(query, twig_algorithm=twig_algorithm, stats=stats)
     if q1.schema.arity == 0:
         combined = q2 if len(q1) else Relation("Q", q2.schema)
     elif q2.schema.arity == 0:

@@ -23,6 +23,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.relational.relation import Relation
+from repro.xml.columnar import ColumnarDocument, columnar
 from repro.xml.model import XMLDocument, XMLNode
 from repro.xml.twig import Axis, TwigNode, TwigQuery
 
@@ -104,6 +105,43 @@ def decompose(twig: TwigQuery) -> TwigDecomposition:
                              paths=tuple(paths))
 
 
+def _iter_path_chain_ids(view: ColumnarDocument, path: PathRelation
+                         ) -> Iterator[tuple[int, ...]]:
+    """Node-id chains matching the path's P-C pattern, via the columnar
+    path index.
+
+    A chain of consecutive P-C edges with tags t1/../tk ends at a node
+    whose interned root tag path ends with that tag suffix, so the tag
+    structure is checked **once per distinct document path**; per node
+    only the parent-array ascent and the value predicates remain.
+    """
+    tags = tuple(node.tag for node in path.nodes)
+    k = len(tags)
+    leaf_tid = view.tag_index.get(tags[-1])
+    if leaf_tid is None:
+        return
+    values = view.values
+    parents = view.parents
+    query_nodes = path.nodes
+    predicated = any(q.predicate is not None for q in query_nodes)
+    for pid in view.pids_by_last_tag.get(leaf_tid, ()):
+        document_path = view.paths[pid]
+        if len(document_path) < k or document_path[-k:] != tags:
+            continue
+        for nid in view.nids_by_path[pid]:
+            chain = [nid]
+            current = nid
+            for _ in range(k - 1):
+                current = parents[current]
+                chain.append(current)
+            chain.reverse()
+            if predicated and not all(
+                    q.matches_value(values[c])
+                    for q, c in zip(query_nodes, chain)):
+                continue
+            yield tuple(chain)
+
+
 def iter_path_chains(document: XMLDocument, path: PathRelation
                      ) -> Iterator[tuple[XMLNode, ...]]:
     """All node chains in *document* matching the path's P-C pattern.
@@ -111,23 +149,10 @@ def iter_path_chains(document: XMLDocument, path: PathRelation
     A chain instantiates consecutive path nodes as parent/child pairs with
     matching tags and value predicates.
     """
-    first = path.nodes[0]
-    chain: list[XMLNode] = []
-
-    def descend(node: XMLNode, depth: int) -> Iterator[tuple[XMLNode, ...]]:
-        chain.append(node)
-        if depth + 1 == len(path.nodes):
-            yield tuple(chain)
-        else:
-            want = path.nodes[depth + 1]
-            for child in node.children:
-                if child.tag == want.tag and want.matches_value(child.value):
-                    yield from descend(child, depth + 1)
-        chain.pop()
-
-    for start in document.nodes(first.tag):
-        if first.matches_value(start.value):
-            yield from descend(start, 0)
+    view = columnar(document)
+    nodes_of = view.nodes
+    for chain in _iter_path_chain_ids(view, path):
+        yield tuple(nodes_of[nid] for nid in chain)
 
 
 def iter_path_value_rows(document: XMLDocument, path: PathRelation,
@@ -137,13 +162,24 @@ def iter_path_value_rows(document: XMLDocument, path: PathRelation,
 
     Attributes in *structural* bind valueless nodes by identity
     (:mod:`repro.core.surrogate`) instead of the conflating ``None``.
+    Rows are read straight from the columnar value/start arrays — the
+    paper's "we do not physically transform them into relational tables"
+    now holds down to the node objects: none are touched.
     """
-    from repro.core.surrogate import node_representation
+    from repro.core.surrogate import NodeSurrogate
 
+    view = columnar(document)
+    values = view.values
+    starts = view.starts
     use_surrogate = [node.name in structural for node in path.nodes]
-    for chain in iter_path_chains(document, path):
-        yield tuple(node_representation(node, flag)
-                    for node, flag in zip(chain, use_surrogate))
+    for chain in _iter_path_chain_ids(view, path):
+        row = []
+        for nid, flag in zip(chain, use_surrogate):
+            value = values[nid]
+            if value is None and flag:
+                value = NodeSurrogate(starts[nid])
+            row.append(value)
+        yield tuple(row)
 
 
 def materialize_path_relation(document: XMLDocument,

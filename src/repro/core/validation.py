@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 from repro.core.surrogate import NodeSurrogate
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.schema import Value
+from repro.xml.columnar import columnar
 from repro.xml.model import XMLDocument, XMLNode
 from repro.xml.twig import Axis, TwigNode, TwigQuery
 
@@ -41,17 +42,24 @@ class StructureValidator:
         self.twig = twig
         self._order = twig.nodes()  # pre-order: parents first
         self._cache: dict[tuple, bool] = {}
-        # Per query node: candidate nodes grouped by value, so the search
-        # below touches only nodes with the right value.
+        # Per query node: candidate nodes grouped by value, read from the
+        # columnar arrays (values pre-parsed once per document), so the
+        # search below touches only nodes with the right value.
+        view = columnar(document)
+        values = view.values
+        nodes_of = view.nodes
         self._candidates: dict[str, dict[Value, list[XMLNode]]] = {}
         for query_node in self._order:
             by_value: dict[Value, list[XMLNode]] = {}
-            for node in document.nodes(query_node.tag):
-                if query_node.matches_value(node.value):
-                    by_value.setdefault(node.value, []).append(node)
+            nids, _starts, _ends = view.postings(query_node.tag)
+            for nid in nids:
+                value = values[nid]
+                if query_node.matches_value(value):
+                    by_value.setdefault(value, []).append(nodes_of[nid])
             self._candidates[query_node.name] = by_value
         self._by_start: dict[int, XMLNode] = {
-            node.start: node for node in document.nodes()}  # type: ignore
+            start: nodes_of[nid]
+            for nid, start in enumerate(view.starts)}
 
     def validate(self, values: dict[str, Value], *,
                  stats: JoinStats | None = None) -> bool:
@@ -179,26 +187,42 @@ class ADValueIndex:
         self._up: dict[Value, set[Value]] | None = None
 
     def _build(self) -> None:
-        from repro.core.surrogate import node_representation
-
+        # One parent-array ascent per lower-tag node (O(|lower| * depth))
+        # on the columnar arrays, instead of scanning each upper node's
+        # whole subtree for lower-tag descendants.
         down: dict[Value, set[Value]] = {}
         up: dict[Value, set[Value]] = {}
-        document = self._binding.document
-        lower_tag = self._lower.tag
-        for upper_node in document.nodes(self._upper.tag):
-            if not self._upper.matches_value(upper_node.value):
+        view = columnar(self._binding.document)
+        upper_tid = view.tag_index.get(self._upper.tag)
+        lower_tid = view.tag_index.get(self._lower.tag)
+        if upper_tid is None or lower_tid is None:
+            self._down, self._up = down, up
+            return
+        values = view.values
+        starts = view.starts
+        parents = view.parents
+        tag_ids = view.tag_ids
+        for lower_nid in view.tag_nids[lower_tid]:
+            lower_value = values[lower_nid]
+            if not self._lower.matches_value(lower_value):
                 continue
-            upper_key = node_representation(upper_node,
-                                            self._upper_structural)
-            for descendant in upper_node.descendants():
-                if descendant.tag != lower_tag:
-                    continue
-                if not self._lower.matches_value(descendant.value):
-                    continue
-                lower_key = node_representation(descendant,
-                                                self._lower_structural)
-                down.setdefault(upper_key, set()).add(lower_key)
-                up.setdefault(lower_key, set()).add(upper_key)
+            lower_key: Value = (
+                NodeSurrogate(starts[lower_nid])
+                if lower_value is None and self._lower_structural
+                else lower_value)
+            ancestor = parents[lower_nid]
+            while ancestor >= 0:
+                if tag_ids[ancestor] == upper_tid:
+                    upper_value = values[ancestor]
+                    if self._upper.matches_value(upper_value):
+                        upper_key: Value = (
+                            NodeSurrogate(starts[ancestor])
+                            if upper_value is None
+                            and self._upper_structural
+                            else upper_value)
+                        down.setdefault(upper_key, set()).add(lower_key)
+                        up.setdefault(lower_key, set()).add(upper_key)
+                ancestor = parents[ancestor]
         self._down, self._up = down, up
 
     def lower_values_for(self, upper_value: Value) -> set[Value]:

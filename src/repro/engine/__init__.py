@@ -33,6 +33,7 @@ from repro.engine.planner import (
     QueryPlan,
     QueryStatistics,
     cached_relation_stats,
+    choose_twig_algorithm,
     plan_query,
     run_query,
     statistics_for,
@@ -50,6 +51,7 @@ __all__ = [
     "TwigFilters",
     "available_algorithms",
     "cached_relation_stats",
+    "choose_twig_algorithm",
     "get_algorithm",
     "plan_query",
     "register",

@@ -33,6 +33,9 @@ from repro.relational.statistics import RelationStats, relation_stats
 
 if TYPE_CHECKING:
     from repro.core.multimodel import MultiModelQuery
+    from repro.xml.columnar import DocumentStats
+    from repro.xml.model import XMLDocument
+    from repro.xml.twig import TwigQuery
 
 # ---------------------------------------------------------------------------
 # cached statistics
@@ -64,10 +67,13 @@ class QueryStatistics:
     """Cached per-input statistics for one multi-model query.
 
     Relation columns come from the shared :func:`cached_relation_stats`
-    cache; twig-node candidate-value counts are computed once per
-    instance. ``domain_estimate(a)`` is the smallest number of distinct
-    values any input offers for attribute ``a`` — the planner's
-    candidate-domain estimate.
+    cache; the twig side reads the weakref-cached columnar views and
+    :class:`~repro.xml.columnar.DocumentStats` of the bound documents —
+    one stats source for relational and tree inputs alike.
+    ``domain_estimate(a)`` is the smallest number of distinct values any
+    input offers for attribute ``a`` — the planner's candidate-domain
+    estimate; ``path_cardinality_estimates`` bounds each decomposed
+    path relation by the document's matching chain count.
     """
 
     def __init__(self, query: "MultiModelQuery"):
@@ -75,6 +81,7 @@ class QueryStatistics:
         # query (and its documents) in the module-level cache.
         self._query_ref = weakref.ref(query)
         self._estimates: dict[str, int] | None = None
+        self._path_estimates: dict[str, int] | None = None
 
     @property
     def query(self) -> "MultiModelQuery":
@@ -87,7 +94,15 @@ class QueryStatistics:
     def relation_stats(self, relation: Relation) -> RelationStats:
         return cached_relation_stats(relation)
 
+    def document_stats(self, document) -> "DocumentStats":
+        """The bound document's cached summary (tags, paths, fan-out)."""
+        from repro.xml.columnar import document_stats
+
+        return document_stats(document)
+
     def domain_estimates(self) -> dict[str, int]:
+        from repro.xml.columnar import columnar
+
         if self._estimates is not None:
             return self._estimates
         estimates: dict[str, int] = {}
@@ -102,16 +117,33 @@ class QueryStatistics:
             for attribute, column in stats.columns.items():
                 shrink(attribute, column.distinct)
         for binding in self.query.twigs:
+            view = columnar(binding.document)
             for query_node in binding.twig.nodes():
-                values = {node.value
-                          for node in binding.document.nodes(query_node.tag)
-                          if query_node.matches_value(node.value)}
-                shrink(query_node.name, len(values))
+                shrink(query_node.name,
+                       view.distinct_value_count(query_node))
         self._estimates = estimates
         return estimates
 
     def domain_estimate(self, attribute: str) -> int:
         return self.domain_estimates().get(attribute, 0)
+
+    def path_cardinality_estimates(self) -> dict[str, int]:
+        """Estimated size of each decomposed path relation, by name.
+
+        The estimate is the document's matching P-C chain count from the
+        cached path index — an upper bound on the distinct value tuples
+        the path relation holds, with no document walk per query.
+        """
+        if self._path_estimates is not None:
+            return self._path_estimates
+        estimates: dict[str, int] = {}
+        for binding in self.query.twigs:
+            stats = self.document_stats(binding.document)
+            for path in self.query.decompositions[binding.name].paths:
+                tags = [node.tag for node in path.nodes]
+                estimates[path.name] = stats.chain_count(tags)
+        self._path_estimates = estimates
+        return estimates
 
 
 #: Same weakref-evicting scheme as the relation cache: entries vanish
@@ -214,15 +246,35 @@ def attribute_order(query: "MultiModelQuery",
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """One planned execution: an expansion order plus an algorithm name."""
+    """One planned execution for a multi-model query.
+
+    Everything comes from a single stats source (cached relation stats +
+    cached document stats): the expansion order, the join operator, the
+    per-twig matching algorithm (consumed by the baseline's twig
+    sub-query and the CLI's A/B override), and the path-relation
+    cardinality estimates that justify the order.
+    """
 
     order: tuple[str, ...]
     algorithm: str
     policy: str
+    #: (twig name, twig algorithm name) per twig input.
+    twig_algorithms: tuple[tuple[str, str], ...] = ()
+    #: (path relation name, estimated cardinality) per decomposed path.
+    path_cardinalities: tuple[tuple[str, int], ...] = ()
+
+    def twig_algorithm(self, twig_name: str) -> str | None:
+        """The planned matcher for one twig input (None if unknown)."""
+        for name, algorithm in self.twig_algorithms:
+            if name == twig_name:
+                return algorithm
+        return None
 
     def __repr__(self) -> str:
+        twigs = (f", twigs={dict(self.twig_algorithms)!r}"
+                 if self.twig_algorithms else "")
         return (f"QueryPlan({self.algorithm!r}, policy={self.policy!r}, "
-                f"order={list(self.order)!r})")
+                f"order={list(self.order)!r}{twigs})")
 
 
 def choose_order_policy(query: "MultiModelQuery") -> str:
@@ -239,6 +291,35 @@ def choose_order_policy(query: "MultiModelQuery") -> str:
     return "appearance"
 
 
+def choose_twig_algorithm(document: "XMLDocument",
+                          twig: "TwigQuery") -> str:
+    """Pick a twig matcher from the twig's shape and the document stats.
+
+    * linear paths → ``pathstack`` (one sweep, optimal for both axes);
+    * branching with any parent-child edge → ``tjfast`` (TwigStack loses
+      optimality on P-C edges; TJFast's per-path matching does not);
+    * A-D-only branching → ``tjfast`` when the leaf streams are the
+      minority of the candidate nodes (it reads only leaves), otherwise
+      ``twigstack`` (holistic-optimal, no path decoding at all).
+
+    See ``docs/twig_algorithms.md`` for the optimality table behind the
+    rule.
+    """
+    from repro.xml.columnar import document_stats
+    from repro.xml.interface import get_twig_algorithm
+
+    if get_twig_algorithm("pathstack").supports(twig):  # linear path
+        return "pathstack"
+    if twig.pc_edges():
+        return "tjfast"
+    stats = document_stats(document)
+    leaf_input = sum(stats.tag_count(q.tag) for q in twig.leaves())
+    total_input = sum(stats.tag_count(q.tag) for q in twig.nodes())
+    if total_input and 2 * leaf_input <= total_input:
+        return "tjfast"
+    return "twigstack"
+
+
 def choose_algorithm(query: "MultiModelQuery") -> str:
     """Pick an algorithm: XJoin whenever a twig participates (it is the
     only worst-case optimal operator over the combined hypergraph);
@@ -251,8 +332,14 @@ def choose_algorithm(query: "MultiModelQuery") -> str:
 
 def plan_query(query: "MultiModelQuery", *,
                order: "str | tuple[str, ...] | list[str] | None" = None,
-               algorithm: str | None = None) -> QueryPlan:
-    """Resolve order and algorithm for *query* (explicit args win)."""
+               algorithm: str | None = None,
+               twig_algorithm: str | None = None) -> QueryPlan:
+    """Resolve order, join operator and twig matchers (explicit args win).
+
+    ``twig_algorithm`` forces one matcher for every twig input (the
+    CLI's ``--twig-algorithm`` A/B override); by default each twig gets
+    the :func:`choose_twig_algorithm` pick for its document.
+    """
     if algorithm is None:
         algorithm = choose_algorithm(query)
     elif algorithm not in available_algorithms():
@@ -265,7 +352,34 @@ def plan_query(query: "MultiModelQuery", *,
     else:
         policy = order if isinstance(order, str) else "given"
         resolved = attribute_order(query, order)
-    return QueryPlan(order=resolved, algorithm=algorithm, policy=policy)
+
+    twig_algorithms: list[tuple[str, str]] = []
+    if query.twigs:
+        from repro.xml.interface import (
+            available_twig_algorithms,
+            get_twig_algorithm,
+        )
+
+        if twig_algorithm is not None \
+                and twig_algorithm not in available_twig_algorithms():
+            raise PlanError(
+                f"unknown twig algorithm {twig_algorithm!r}; "
+                f"choose from {available_twig_algorithms()!r}")
+        for binding in query.twigs:
+            name = twig_algorithm or choose_twig_algorithm(binding.document,
+                                                           binding.twig)
+            if not get_twig_algorithm(name).supports(binding.twig):
+                raise PlanError(
+                    f"twig algorithm {name!r} cannot evaluate twig "
+                    f"{binding.name!r} (e.g. 'pathstack' on a branching "
+                    f"twig)")
+            twig_algorithms.append((binding.name, name))
+    path_cardinalities = tuple(
+        sorted(statistics_for(query).path_cardinality_estimates().items())
+    ) if query.twigs else ()
+    return QueryPlan(order=resolved, algorithm=algorithm, policy=policy,
+                     twig_algorithms=tuple(twig_algorithms),
+                     path_cardinalities=path_cardinalities)
 
 
 def run_query(query: "MultiModelQuery", *,

@@ -2,10 +2,21 @@
 
 Everything the paper's XML side needs, self-contained: a hand-written
 parser/serialiser, region and (extended) Dewey encodings, the twig query
-model and pattern language, and four twig-matching algorithms (naive
-navigation, structural-join pipeline, PathStack/TwigStack, TJFast).
+model and pattern language, and the twig-matching algorithms (naive
+navigation, structural-join pipeline, PathStack/TwigStack, TJFast) — all
+running on the columnar document store (:mod:`repro.xml.columnar`) and
+registered with the unified :class:`TwigAlgorithm` interface
+(:mod:`repro.xml.interface`).
 """
 
+from repro.xml.algorithms import match_twig
+from repro.xml.columnar import (
+    ColumnarDocument,
+    DocumentStats,
+    TagPosting,
+    columnar,
+    document_stats,
+)
 from repro.xml.dewey import (
     ExtendedDeweyLabeler,
     annotate_dewey,
@@ -19,6 +30,12 @@ from repro.xml.generator import (
     layered_document,
     random_document,
     star_document,
+)
+from repro.xml.interface import (
+    TwigAlgorithm,
+    available_twig_algorithms,
+    get_twig_algorithm,
+    register_twig_algorithm,
 )
 from repro.xml.model import XMLDocument, XMLNode, element
 from repro.xml.navigation import (
@@ -41,8 +58,12 @@ from repro.xml.xpath import XPathQuery, parse_xpath
 
 __all__ = [
     "Axis",
+    "ColumnarDocument",
+    "DocumentStats",
     "ExtendedDeweyLabeler",
+    "TagPosting",
     "TagStream",
+    "TwigAlgorithm",
     "TwigNode",
     "TwigQuery",
     "XMLDocument",
@@ -51,8 +72,12 @@ __all__ = [
     "XPathQuery",
     "annotate_dewey",
     "annotate_regions",
+    "available_twig_algorithms",
     "chain_document",
+    "columnar",
     "common_prefix",
+    "document_stats",
+    "get_twig_algorithm",
     "dewey_is_ancestor",
     "dewey_is_parent",
     "element",
@@ -62,6 +87,7 @@ __all__ = [
     "layered_document",
     "match_embeddings",
     "match_relation",
+    "match_twig",
     "parse_document",
     "parse_element_tree",
     "parse_twig",
@@ -70,6 +96,7 @@ __all__ = [
     "path_stack_relation",
     "pattern_string",
     "random_document",
+    "register_twig_algorithm",
     "serialize",
     "stack_tree_join",
     "star_document",

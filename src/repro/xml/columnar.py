@@ -1,0 +1,349 @@
+"""Columnar document store: the XML side of the encoded engine.
+
+A :class:`ColumnarDocument` is built **once** per document (and cached
+weakref-style, like the engine's relation statistics) and holds the whole
+tree as parallel arrays over dense int node ids — ``starts``, ``ends``,
+``levels``, ``parents``, ``tag_ids``, pre-parsed typed ``values``, Dewey
+labels, and per-tag postings sorted by document order. Every twig
+algorithm (TwigStack, TJFast, PathStack, the structural-join pipeline)
+and XJoin's path-relation gathering run on these arrays: the hot loops
+compare plain ints instead of chasing :class:`~repro.xml.model.XMLNode`
+attributes, streams share the per-tag posting arrays instead of copying
+node lists per query, and seeks are ``bisect`` calls.
+
+The root-to-node *tag paths* are interned as dense path ids (the columnar
+analogue of TJFast's extended Dewey labels): two nodes share a path id
+iff their root tag paths are equal, so path-pattern matching runs once
+per distinct document path instead of once per node.
+
+:class:`DocumentStats` summarises a document for the planner — tag
+counts, distinct-path cardinalities, depth and fan-out — from the same
+arrays, through the same weakref cache discipline as
+:func:`repro.engine.planner.cached_relation_stats`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.relational.schema import Value
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.twig import TwigNode
+
+
+class TagPosting:
+    """A forward cursor over one sorted posting (document order).
+
+    The columnar replacement for :class:`~repro.xml.streams.TagStream`:
+    parallel ``nids``/``starts``/``ends`` arrays, shared with the
+    document when the query node has no value predicate (no per-query
+    copy), with binary-search :meth:`seek_start` instead of linear
+    advances where the algorithm allows skipping.
+    """
+
+    __slots__ = ("nids", "starts", "ends", "position", "label")
+
+    def __init__(self, nids: Sequence[int], starts: Sequence[int],
+                 ends: Sequence[int], label: str = ""):
+        self.nids = nids
+        self.starts = starts
+        self.ends = ends
+        self.position = 0
+        self.label = label
+
+    def eof(self) -> bool:
+        return self.position >= len(self.nids)
+
+    def head_nid(self) -> int:
+        """The current node id; undefined at EOF."""
+        return self.nids[self.position]
+
+    def head_start(self) -> int:
+        return self.starts[self.position]
+
+    def head_end(self) -> int:
+        return self.ends[self.position]
+
+    def advance(self) -> None:
+        self.position += 1
+
+    def seek_start(self, start: int) -> int:
+        """Jump to the first entry with ``start >= start`` (binary
+        search); returns the number of entries skipped."""
+        position = bisect_left(self.starts, start, self.position)
+        skipped = position - self.position
+        self.position = position
+        return skipped
+
+    def reset(self) -> None:
+        self.position = 0
+
+    def remaining(self) -> int:
+        return len(self.nids) - self.position
+
+    def __len__(self) -> int:
+        return len(self.nids)
+
+    def __repr__(self) -> str:
+        return (f"TagPosting({self.label!r}, {self.position}/"
+                f"{len(self.nids)})")
+
+
+class ColumnarDocument:
+    """One document as parallel arrays over dense int node ids.
+
+    Node ids are pre-order (= document-order) indexes ``0..size-1``.
+    ``parents[nid]`` is the parent's node id (-1 for the root);
+    ``path_ids[nid]`` interns the root-to-node tag path. Per-tag postings
+    (``tag_nids``/``tag_starts``/``tag_ends``) are parallel lists sorted
+    by ``start`` — pre-order construction yields them sorted for free.
+    """
+
+    # No back-reference to the XMLDocument: the weakref-evicting cache
+    # below relies on the view not pinning the document it was built
+    # from (the node list keeps the *tree* alive, which dies with the
+    # evicted view).
+    __slots__ = ("size", "nodes", "starts", "ends", "levels",
+                 "parents", "tag_ids", "values", "deweys", "path_ids",
+                 "tags", "tag_index", "paths", "tag_nids", "tag_starts",
+                 "tag_ends", "nids_by_path", "pids_by_last_tag",
+                 "nid_index")
+
+    def __init__(self, document: XMLDocument):
+        root = document.root
+        assert root.start is not None, "document must be indexed"
+        nodes: list[XMLNode] = []
+        starts: list[int] = []
+        ends: list[int] = []
+        levels: list[int] = []
+        parents: list[int] = []
+        tag_ids: list[int] = []
+        values: list[Value | None] = []
+        deweys: list[tuple[int, ...]] = []
+        path_ids: list[int] = []
+        tags: list[str] = []
+        tag_index: dict[str, int] = {}
+        paths: list[tuple[str, ...]] = []
+        # (parent path id, tag id) -> path id: interning makes path-level
+        # work (TJFast, DocumentStats) linear in *distinct* paths.
+        path_table: dict[tuple[int, int], int] = {}
+
+        stack: list[tuple[XMLNode, int]] = [(root, -1)]
+        while stack:
+            node, parent_nid = stack.pop()
+            nid = len(nodes)
+            nodes.append(node)
+            starts.append(node.start)  # type: ignore[arg-type]
+            ends.append(node.end)  # type: ignore[arg-type]
+            levels.append(node.level)  # type: ignore[arg-type]
+            parents.append(parent_nid)
+            tid = tag_index.get(node.tag)
+            if tid is None:
+                tid = tag_index[node.tag] = len(tags)
+                tags.append(node.tag)
+            tag_ids.append(tid)
+            values.append(node.value)  # typed text, parsed exactly once
+            deweys.append(node.dewey or ())
+            parent_pid = path_ids[parent_nid] if parent_nid >= 0 else -1
+            key = (parent_pid, tid)
+            pid = path_table.get(key)
+            if pid is None:
+                pid = path_table[key] = len(paths)
+                prefix = paths[parent_pid] if parent_pid >= 0 else ()
+                paths.append(prefix + (node.tag,))
+            path_ids.append(pid)
+            for child in reversed(node.children):
+                stack.append((child, nid))
+
+        self.size = len(nodes)
+        self.nodes = nodes
+        self.starts = starts
+        self.ends = ends
+        self.levels = levels
+        self.parents = parents
+        self.tag_ids = tag_ids
+        self.values = values
+        self.deweys = deweys
+        self.path_ids = path_ids
+        self.tags = tags
+        self.tag_index = tag_index
+        self.paths = paths
+
+        tag_nids: list[list[int]] = [[] for _ in tags]
+        tag_starts: list[list[int]] = [[] for _ in tags]
+        tag_ends: list[list[int]] = [[] for _ in tags]
+        nids_by_path: list[list[int]] = [[] for _ in paths]
+        for nid, tid in enumerate(tag_ids):
+            tag_nids[tid].append(nid)
+            tag_starts[tid].append(starts[nid])
+            tag_ends[tid].append(ends[nid])
+            nids_by_path[path_ids[nid]].append(nid)
+        self.tag_nids = tag_nids
+        self.tag_starts = tag_starts
+        self.tag_ends = tag_ends
+        self.nids_by_path = nids_by_path
+        pids_by_last_tag: dict[int, list[int]] = {}
+        for (_parent_pid, tid), pid in path_table.items():
+            pids_by_last_tag.setdefault(tid, []).append(pid)
+        self.pids_by_last_tag = pids_by_last_tag
+        #: start label -> node id (starts identify nodes uniquely).
+        self.nid_index: dict[int, int] = {
+            start: nid for nid, start in enumerate(starts)}
+
+    # -- lookups -----------------------------------------------------------
+
+    def nid_of(self, node: XMLNode) -> int:
+        """The dense id of a node of this document."""
+        assert node.start is not None, "node has no region label"
+        return self.nid_index[node.start]
+
+    def nid_by_start(self, start: int) -> int | None:
+        return self.nid_index.get(start)
+
+    def postings(self, tag: str) -> tuple[Sequence[int], Sequence[int],
+                                          Sequence[int]]:
+        """(nids, starts, ends) of *tag*, document order; empty if absent."""
+        tid = self.tag_index.get(tag)
+        if tid is None:
+            return (), (), ()
+        return self.tag_nids[tid], self.tag_starts[tid], self.tag_ends[tid]
+
+    def stream(self, query_node: TwigNode) -> TagPosting:
+        """The posting cursor for one twig query node.
+
+        Without a value predicate the cursor shares the document's
+        posting arrays (zero copying); with one, filtered parallel
+        arrays are built for this query.
+        """
+        nids, starts, ends = self.postings(query_node.tag)
+        if query_node.predicate is not None and nids:
+            values = self.values
+            keep = [i for i, nid in enumerate(nids)
+                    if query_node.matches_value(values[nid])]
+            nids = [nids[i] for i in keep]
+            starts = [starts[i] for i in keep]
+            ends = [ends[i] for i in keep]
+        return TagPosting(nids, starts, ends, label=query_node.name)
+
+    def ancestry(self, nid: int) -> list[int]:
+        """Node ids from the root down to (and including) *nid*."""
+        parents = self.parents
+        chain = [nid]
+        while (nid := parents[nid]) >= 0:
+            chain.append(nid)
+        chain.reverse()
+        return chain
+
+    def distinct_value_count(self, query_node: TwigNode) -> int:
+        """Distinct typed values among the query node's candidates."""
+        tid = self.tag_index.get(query_node.tag)
+        if tid is None:
+            return 0
+        values = self.values
+        if query_node.predicate is None:
+            seen = {values[nid] for nid in self.tag_nids[tid]}
+        else:
+            seen = {values[nid] for nid in self.tag_nids[tid]
+                    if query_node.matches_value(values[nid])}
+        return len(seen)
+
+    def __repr__(self) -> str:
+        return (f"ColumnarDocument({self.size} nodes, {len(self.tags)} "
+                f"tags, {len(self.paths)} paths)")
+
+
+# ---------------------------------------------------------------------------
+# weakref-cached accessors (one build per live document version)
+# ---------------------------------------------------------------------------
+
+#: id(document) -> (weakref, document.version, cached value). Keyed by id
+#: for O(1) lookup; the eviction callback drops the entry with the
+#: document, and the version guard invalidates it the moment the tree is
+#: reindexed.
+_COLUMNAR_CACHE: "dict[int, tuple[weakref.ref, int, ColumnarDocument]]" = {}
+_STATS_CACHE: "dict[int, tuple[weakref.ref, int, DocumentStats]]" = {}
+
+
+def _cached_per_document(document: XMLDocument, cache: dict, build):
+    key = id(document)
+    version = getattr(document, "version", 0)
+    entry = cache.get(key)
+    if entry is not None and entry[0]() is document and entry[1] == version:
+        return entry[2]
+    value = build(document)
+
+    # The cache is bound as a default so eviction still works during
+    # interpreter shutdown, when module globals may already be None.
+    def evict(_ref: weakref.ref, key: int = key,
+              cache: dict = cache) -> None:
+        cache.pop(key, None)
+
+    cache[key] = (weakref.ref(document, evict), version, value)
+    return value
+
+
+def columnar(document: XMLDocument) -> ColumnarDocument:
+    """The (memoised) columnar view of *document*."""
+    return _cached_per_document(document, _COLUMNAR_CACHE, ColumnarDocument)
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Planner-facing summary of one document.
+
+    ``path_counts`` maps each distinct root tag path to its node count —
+    the cardinality source for path-relation estimates: the number of
+    document chains matching a P-C tag chain is the sum over paths
+    ending in that chain (an upper bound on the distinct value tuples
+    the decomposed path relation holds).
+    """
+
+    size: int
+    depth: int
+    tag_counts: Mapping[str, int]
+    path_counts: Mapping[tuple[str, ...], int]
+    max_fanout: int
+
+    @property
+    def distinct_paths(self) -> int:
+        return len(self.path_counts)
+
+    def tag_count(self, tag: str) -> int:
+        return self.tag_counts.get(tag, 0)
+
+    def chain_count(self, tags: Sequence[str]) -> int:
+        """Number of node chains matching the consecutive P-C tag chain."""
+        suffix = tuple(tags)
+        k = len(suffix)
+        if k == 0:
+            return 0
+        return sum(count for path, count in self.path_counts.items()
+                   if len(path) >= k and path[-k:] == suffix)
+
+
+def _build_stats(view: ColumnarDocument) -> DocumentStats:
+    tag_counts = {tag: len(view.tag_nids[tid])
+                  for tag, tid in view.tag_index.items()}
+    path_counts = {view.paths[pid]: len(nids)
+                   for pid, nids in enumerate(view.nids_by_path)}
+    children = [0] * view.size
+    for parent in view.parents:
+        if parent >= 0:
+            children[parent] += 1
+    return DocumentStats(
+        size=view.size,
+        depth=max(view.levels) if view.levels else 0,
+        tag_counts=tag_counts,
+        path_counts=path_counts,
+        max_fanout=max(children) if children else 0,
+    )
+
+
+def document_stats(document: XMLDocument) -> DocumentStats:
+    """The (memoised) :class:`DocumentStats` of *document*."""
+    return _cached_per_document(
+        document, _STATS_CACHE,
+        lambda doc: _build_stats(columnar(doc)))

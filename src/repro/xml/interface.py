@@ -1,0 +1,76 @@
+"""The unified twig-matching operator interface.
+
+Mirrors :mod:`repro.engine.interface` on the tree side: a
+:class:`TwigAlgorithm` consumes a document + twig query and produces
+either node-level embeddings or the twig's value-tuple
+:class:`~repro.relational.relation.Relation`. All matcher families of
+the library — TwigStack, TJFast, PathStack, the binary structural-join
+pipeline, and naive navigation — register here under stable names, so
+the planner, the CLI's ``--twig-algorithm`` override, and the parity
+suite can pick a matcher by name and race implementations over the same
+:class:`~repro.xml.columnar.ColumnarDocument`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import TwigError
+from repro.instrumentation import JoinStats
+from repro.relational.relation import Relation
+
+if TYPE_CHECKING:
+    from repro.xml.model import XMLDocument, XMLNode
+    from repro.xml.twig import TwigQuery
+
+
+@runtime_checkable
+class TwigAlgorithm(Protocol):
+    """One twig-matching operator over a document."""
+
+    #: Stable registry name (e.g. ``"twigstack"``).
+    name: str
+
+    def supports(self, twig: "TwigQuery") -> bool:
+        """Can this operator evaluate *twig* (e.g. PathStack: paths only)?"""
+        ...
+
+    def embeddings(self, document: "XMLDocument", twig: "TwigQuery", *,
+                   stats: JoinStats | None = None
+                   ) -> "list[dict[str, XMLNode]]":
+        """All embeddings of *twig* as name -> node mappings."""
+        ...
+
+    def run(self, document: "XMLDocument", twig: "TwigQuery", *,
+            name: str | None = None,
+            stats: JoinStats | None = None) -> Relation:
+        """The twig's value-tuple answer (set semantics)."""
+        ...
+
+
+_REGISTRY: dict[str, TwigAlgorithm] = {}
+
+
+def register_twig_algorithm(algorithm: TwigAlgorithm) -> TwigAlgorithm:
+    """Register *algorithm* under its ``name`` (last registration wins)."""
+    _REGISTRY[algorithm.name] = algorithm
+    return algorithm
+
+
+def get_twig_algorithm(name: str) -> TwigAlgorithm:
+    """Look up a registered twig algorithm by name."""
+    # Importing the implementations lazily avoids an import cycle while
+    # still guaranteeing the built-ins are registered on first use.
+    from repro.xml import algorithms  # noqa: F401
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TwigError(
+            f"unknown twig algorithm {name!r}; "
+            f"choose from {available_twig_algorithms()!r}") from None
+
+
+def available_twig_algorithms() -> list[str]:
+    """Names of all registered twig algorithms, sorted."""
+    from repro.xml import algorithms  # noqa: F401
+    return sorted(_REGISTRY)

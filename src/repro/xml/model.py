@@ -119,12 +119,18 @@ class XMLDocument:
 
     def __init__(self, root: XMLNode):
         self.root = root
+        self.version = 0
         self._by_tag: dict[str, list[XMLNode]] = {}
         self._by_start: list[XMLNode] = []
         self.reindex()
 
     def reindex(self) -> None:
-        """(Re)compute labels and indexes after tree mutation."""
+        """(Re)compute labels and indexes after tree mutation.
+
+        Bumps :attr:`version`, which invalidates the weakref-cached
+        columnar views and statistics (:mod:`repro.xml.columnar`).
+        """
+        self.version += 1
         # Imported here to avoid a cycle: encoding works on raw nodes.
         from repro.xml.dewey import annotate_dewey
         from repro.xml.encoding import annotate_regions

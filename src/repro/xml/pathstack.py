@@ -6,18 +6,22 @@ node. Elements are pushed linked to the current top of the parent stack,
 and complete root-to-leaf solutions are expanded whenever a leaf element
 is pushed.
 
-The twig algorithms build on the same stack discipline; this standalone
-version exists because the paper's decomposition reduces twigs to
-root-leaf *paths*, making PathStack the natural unit to test.
+Since the columnar refactor the sweep runs on
+:class:`~repro.xml.columnar.ColumnarDocument` postings: stacks hold dense
+int node ids, the axis checks in :func:`expand_chain` are plain int-array
+comparisons, and streams share the per-tag posting arrays instead of
+copying node lists. The twig algorithms build on the same stack
+discipline; this standalone version exists because the paper's
+decomposition reduces twigs to root-leaf *paths*, making PathStack the
+natural unit to test.
 """
 
 from __future__ import annotations
 
 from repro.errors import TwigError
 from repro.instrumentation import JoinStats, ensure_stats
-from repro.xml.encoding import is_ancestor, is_parent
+from repro.xml.columnar import ColumnarDocument, columnar
 from repro.xml.model import XMLDocument, XMLNode
-from repro.xml.streams import TagStream
 from repro.xml.twig import Axis, TwigNode, TwigQuery
 
 
@@ -35,53 +39,59 @@ def path_nodes(twig: TwigQuery) -> list[TwigNode]:
 
 
 def expand_chain(path: list[TwigNode],
-                 stacks: dict[str, list[tuple[XMLNode, int]]],
-                 leaf_node: XMLNode, leaf_pointer: int, *,
+                 stacks: dict[str, list[tuple[int, int]]],
+                 view: ColumnarDocument,
+                 leaf_nid: int, leaf_pointer: int, *,
                  stats: JoinStats | None = None
-                 ) -> list[tuple[XMLNode, ...]]:
-    """All root-to-leaf solutions ending at *leaf_node*.
+                 ) -> list[tuple[int, ...]]:
+    """All root-to-leaf solutions ending at node id *leaf_nid*.
 
-    ``stacks[q.name]`` holds (element, pointer-into-parent-stack) entries.
-    Entries below a pointer are ancestors of the pushed element; axis
-    constraints (in particular parent-child levels) are re-checked here.
-    Returned tuples are aligned with *path* (root first).
+    ``stacks[q.name]`` holds (node id, pointer-into-parent-stack)
+    entries. Entries below a pointer are ancestors of the pushed element;
+    axis constraints (in particular parent-child levels) are re-checked
+    here against the columnar label arrays. Returned tuples are node ids
+    aligned with *path* (root first).
     """
     stats = ensure_stats(stats)
-    solutions: list[tuple[XMLNode, ...]] = []
-    chain: list[XMLNode] = [leaf_node]
+    starts, ends, levels = view.starts, view.ends, view.levels
+    solutions: list[tuple[int, ...]] = []
+    chain: list[int] = [leaf_nid]
 
-    def ascend(index: int, lower: XMLNode, pointer: int) -> None:
+    def ascend(index: int, lower_nid: int, pointer: int) -> None:
         if index < 0:
             solutions.append(tuple(reversed(chain)))
             stats.count_emitted()
             return
         query_node = path[index]
-        lower_axis = path[index + 1].axis
+        child_axis = path[index + 1].axis is Axis.CHILD
+        lower_start, lower_end = starts[lower_nid], ends[lower_nid]
+        lower_level = levels[lower_nid]
         stack = stacks[query_node.name]
         for entry_index in range(min(pointer + 1, len(stack))):
-            node, parent_pointer = stack[entry_index]
+            nid, parent_pointer = stack[entry_index]
             stats.count_comparisons()
-            if lower_axis is Axis.CHILD and not is_parent(node, lower):
+            if not (starts[nid] < lower_start and lower_end < ends[nid]):
+                continue  # not an ancestor
+            if child_axis and lower_level != levels[nid] + 1:
                 continue
-            if lower_axis is Axis.DESCENDANT and not is_ancestor(node, lower):
-                continue
-            chain.append(node)
-            ascend(index - 1, node, parent_pointer)
+            chain.append(nid)
+            ascend(index - 1, nid, parent_pointer)
             chain.pop()
 
-    ascend(len(path) - 2, leaf_node, leaf_pointer)
+    ascend(len(path) - 2, leaf_nid, leaf_pointer)
     return solutions
 
 
-def path_stack(document: XMLDocument, twig: TwigQuery, *,
-               stats: JoinStats | None = None
-               ) -> list[tuple[XMLNode, ...]]:
-    """All matches of a path twig, as node tuples aligned root-to-leaf."""
-    stats = ensure_stats(stats)
+def _path_stack_ids(document: XMLDocument, twig: TwigQuery,
+                    stats: JoinStats
+                    ) -> tuple[ColumnarDocument, list[tuple[int, ...]]]:
+    """The sweep proper, on node ids (root-first tuples)."""
     path = path_nodes(twig)
-    streams = {q.name: TagStream.for_query_node(document, q) for q in path}
-    stacks: dict[str, list[tuple[XMLNode, int]]] = {q.name: [] for q in path}
-    solutions: list[tuple[XMLNode, ...]] = []
+    view = columnar(document)
+    ends = view.ends
+    streams = {q.name: view.stream(q) for q in path}
+    stacks: dict[str, list[tuple[int, int]]] = {q.name: [] for q in path}
+    solutions: list[tuple[int, ...]] = []
     pushes = 0
 
     def min_stream() -> TwigNode | None:
@@ -91,7 +101,7 @@ def path_stack(document: XMLDocument, twig: TwigQuery, *,
             stream = streams[query_node.name]
             if stream.eof():
                 continue
-            start = stream.head().start
+            start = stream.head_start()
             if best_start is None or start < best_start:
                 best, best_start = query_node, start
         return best
@@ -100,12 +110,14 @@ def path_stack(document: XMLDocument, twig: TwigQuery, *,
         query_node = min_stream()
         if query_node is None:
             break
-        element = streams[query_node.name].head()
-        streams[query_node.name].advance()
+        stream = streams[query_node.name]
+        nid = stream.head_nid()
+        start = stream.head_start()
+        stream.advance()
         # Pop every stack entry whose region ended before this element.
         for other in path:
             stack = stacks[other.name]
-            while stack and stack[-1][0].end < element.start:
+            while stack and ends[stack[-1][0]] < start:
                 stack.pop()
         parent = query_node.parent
         if parent is not None and not stacks[parent.name]:
@@ -113,15 +125,25 @@ def path_stack(document: XMLDocument, twig: TwigQuery, *,
         pointer = len(stacks[parent.name]) - 1 if parent is not None else -1
         if query_node is path[-1]:
             # Leaves never stay on a stack: expand immediately.
-            stacks[query_node.name].append((element, pointer))
+            stacks[query_node.name].append((nid, pointer))
             solutions.extend(
-                expand_chain(path, stacks, element, pointer, stats=stats))
+                expand_chain(path, stacks, view, nid, pointer, stats=stats))
             stacks[query_node.name].pop()
         else:
-            stacks[query_node.name].append((element, pointer))
+            stacks[query_node.name].append((nid, pointer))
             pushes += 1
     stats.record_stage("pathstack pushes", pushes)
-    return solutions
+    return view, solutions
+
+
+def path_stack(document: XMLDocument, twig: TwigQuery, *,
+               stats: JoinStats | None = None
+               ) -> list[tuple[XMLNode, ...]]:
+    """All matches of a path twig, as node tuples aligned root-to-leaf."""
+    stats = ensure_stats(stats)
+    view, solutions = _path_stack_ids(document, twig, stats)
+    nodes = view.nodes
+    return [tuple(nodes[nid] for nid in solution) for solution in solutions]
 
 
 def path_stack_relation(document: XMLDocument, twig: TwigQuery, *,
@@ -129,8 +151,11 @@ def path_stack_relation(document: XMLDocument, twig: TwigQuery, *,
     """Value-tuple relation form of :func:`path_stack` (set semantics)."""
     from repro.relational.relation import Relation
 
+    stats = ensure_stats(stats)
     path = path_nodes(twig)
     attrs = tuple(q.name for q in path)
-    rows = [tuple(node.value for node in solution)
-            for solution in path_stack(document, twig, stats=stats)]
+    view, solutions = _path_stack_ids(document, twig, stats)
+    values = view.values
+    rows = [tuple(values[nid] for nid in solution)
+            for solution in solutions]
     return Relation(twig.name, attrs, rows)

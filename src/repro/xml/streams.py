@@ -1,10 +1,16 @@
-"""Tag streams: document-ordered node cursors used by the stack algorithms.
+"""Tag streams: document-ordered node cursors over :class:`XMLNode`s.
 
 A :class:`TagStream` is a forward cursor over the nodes of one tag (in
 document order, i.e. by ``start``). Streams are built per *query node*:
 the twig node's tag selects the nodes and its value predicate pre-filters
 them, mirroring how structural-join systems push selections into the input
 streams.
+
+The engine-path algorithms now run on the columnar posting cursors of
+:class:`repro.xml.columnar.TagPosting` (shared int arrays, binary-search
+seeks); ``TagStream`` remains the node-object cursor used by the
+reference implementations (:mod:`repro.xml.reference`) that serve as the
+benchmark baseline.
 """
 
 from __future__ import annotations

@@ -1,37 +1,46 @@
-"""TJFast-style twig matching on extended Dewey labels (Lu et al. 2005).
+"""TJFast-style twig matching on root tag paths (Lu et al. 2005).
 
 TJFast reads only the streams of the twig's *leaf* query nodes. The
-extended Dewey label of a leaf element encodes its entire root tag path
-(:class:`~repro.xml.dewey.ExtendedDeweyLabeler`), so the root-to-leaf
-query path can be matched against the label alone; the matched ancestor
-elements are then recovered from the Dewey prefixes. Finally the per-leaf
-path solutions are merged exactly like TwigStack's phase 2.
+extended Dewey label of a leaf element encodes its entire root tag path,
+so the root-to-leaf query path can be matched against the label alone;
+the matched ancestor elements are then recovered from the Dewey prefixes.
+Finally the per-leaf path solutions are merged exactly like TwigStack's
+phase 2 (through the encoded engine).
 
-This keeps the defining property of TJFast — internal query nodes consume
-no input streams — while deriving the label alphabet from the document
-instead of a DTD (see the module docstring of :mod:`repro.xml.dewey`).
+Since the columnar refactor the label machinery is the document's
+interned *path ids* (:class:`~repro.xml.columnar.ColumnarDocument`):
+two leaves share a path id iff their root tag paths are equal, so the
+query path is matched **once per distinct document path** instead of
+once per leaf element, and ancestors are recovered by walking the
+columnar ``parents`` array. This keeps the defining property of TJFast —
+internal query nodes consume no input streams — while replacing the
+per-element label decode with a per-path one. The original
+extended-Dewey formulation survives in :mod:`repro.xml.dewey` (the label
+scheme) and :mod:`repro.xml.reference` (the node-object matcher kept as
+the benchmark baseline).
 """
 
 from __future__ import annotations
 
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.relational.relation import Relation
-from repro.xml.dewey import ExtendedDeweyLabeler
+from repro.xml.columnar import columnar
 from repro.xml.model import XMLDocument, XMLNode
 from repro.xml.twig import Axis, TwigNode, TwigQuery
-from repro.xml.twigstack import merge_path_solutions
+from repro.xml.twigstack import merge_path_solutions, solution_relation
 
 
 def match_path_against_tags(path: list[TwigNode],
-                            tags: list[str]) -> list[tuple[int, ...]]:
+                            tags: "list[str] | tuple[str, ...]"
+                            ) -> list[tuple[int, ...]]:
     """All assignments of query-path nodes to positions in a tag path.
 
-    ``tags`` is the root-to-leaf tag path of a document node (decoded from
-    its extended Dewey label). The query leaf must map to the last
-    position; the query root may map anywhere (twig matching is
-    existential over the document). P-C edges force consecutive
-    positions, A-D edges any forward gap. Returns position tuples aligned
-    with *path*.
+    ``tags`` is the root-to-leaf tag path of a document node (decoded
+    from its extended Dewey label, or interned as a columnar path id).
+    The query leaf must map to the last position; the query root may map
+    anywhere (twig matching is existential over the document). P-C edges
+    force consecutive positions, A-D edges any forward gap. Returns
+    position tuples aligned with *path*.
     """
     solutions: list[tuple[int, ...]] = []
     positions: list[int] = []
@@ -63,29 +72,36 @@ def match_path_against_tags(path: list[TwigNode],
 
 
 def tjfast_path_solutions(document: XMLDocument, twig: TwigQuery, *,
-                          labeler: ExtendedDeweyLabeler | None = None,
                           stats: JoinStats | None = None
                           ) -> dict[str, list[tuple[XMLNode, ...]]]:
     """Per-leaf path solutions computed from leaf streams only."""
     stats = ensure_stats(stats)
-    if labeler is None:
-        labeler = ExtendedDeweyLabeler(document)
+    view = columnar(document)
+    values = view.values
+    nodes_of = view.nodes
     solutions: dict[str, list[tuple[XMLNode, ...]]] = {}
     for leaf in twig.leaves():
         path = twig.root_to_node_path(leaf.name)
+        internal = path[:-1]
         found: list[tuple[XMLNode, ...]] = []
-        for element, label in labeler.leaf_labels(leaf.tag):
-            stats.count_seeks()
-            if not leaf.matches_value(element.value):
+        leaf_tid = view.tag_index.get(leaf.tag)
+        for pid in view.pids_by_last_tag.get(leaf_tid, ()):  # type: ignore[arg-type]
+            # One query-path match per *distinct* document tag path; all
+            # nodes sharing the path id reuse the assignments.
+            assignments = match_path_against_tags(path, view.paths[pid])
+            if not assignments:
                 continue
-            tags = labeler.decode(label)
-            ancestry = element.path_from_root()
-            for assignment in match_path_against_tags(path, tags):
-                nodes = tuple(ancestry[position] for position in assignment)
-                if all(q.matches_value(node.value)
-                       for q, node in zip(path, nodes)):
-                    found.append(nodes)
-                    stats.count_emitted()
+            for nid in view.nids_by_path[pid]:
+                stats.count_seeks()
+                if not leaf.matches_value(values[nid]):
+                    continue
+                ancestry = view.ancestry(nid)
+                for assignment in assignments:
+                    chain = [ancestry[position] for position in assignment]
+                    if all(q.matches_value(values[i])
+                           for q, i in zip(internal, chain)):
+                        found.append(tuple(nodes_of[i] for i in chain))
+                        stats.count_emitted()
         solutions[leaf.name] = found
         stats.record_stage(f"tjfast path solutions {leaf.name}", len(found))
     return solutions
@@ -103,8 +119,6 @@ def tjfast(document: XMLDocument, twig: TwigQuery, *,
            name: str | None = None,
            stats: JoinStats | None = None) -> Relation:
     """The twig's value-tuple answer computed by TJFast."""
-    embeddings = tjfast_embeddings(document, twig, stats=stats)
-    attrs = twig.attributes
-    rows = [tuple(embedding[a].value for a in attrs)
-            for embedding in embeddings]
-    return Relation(name or twig.name, attrs, rows)
+    solutions = tjfast_path_solutions(document, twig, stats=stats)
+    return solution_relation(document, twig, solutions, name=name,
+                             stats=stats)

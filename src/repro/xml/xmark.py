@@ -47,9 +47,18 @@ class XMarkScale:
                    categories=max(base // 10, 1))
 
 
-def xmark_document(factor: float = 0.1, *, seed: int = 0) -> XMLDocument:
-    """Generate an XMark-shaped document at the given scale factor."""
-    rng = random.Random(seed)
+def xmark_document(factor: float = 0.1, *, seed: int = 0,
+                   rng: random.Random | None = None) -> XMLDocument:
+    """Generate an XMark-shaped document at the given scale factor.
+
+    Deterministic: either pass an explicit *rng* (it is consumed in a
+    fixed draw order) or a *seed* from which a private
+    :class:`random.Random` is derived. Scenario runs are therefore
+    reproducible across twig algorithms and benchmark harnesses — no
+    draw ever touches the global :mod:`random` state.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     scale = XMarkScale.from_factor(factor)
     site = XMLNode("site")
 

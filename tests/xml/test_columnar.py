@@ -1,0 +1,229 @@
+"""The columnar document store: array invariants, caching, statistics."""
+
+import random
+
+import pytest
+
+from repro.xml.columnar import (
+    ColumnarDocument,
+    columnar,
+    document_stats,
+)
+from repro.xml.generator import chain_document, random_document
+from repro.xml.model import XMLDocument, element
+from repro.xml.twig import TwigNode
+from repro.xml.xmark import xmark_document
+
+
+def sample_document():
+    tree = element(
+        "a",
+        element("b",
+                element("c", text="1"),
+                element("b", element("c", text="2"))),
+        element("d", element("c", text="3")),
+    )
+    return XMLDocument(tree)
+
+
+class TestArrays:
+    def test_arrays_mirror_node_labels(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            document = random_document(rng, max_nodes=40)
+            view = ColumnarDocument(document)
+            assert view.size == document.size()
+            for nid, node in enumerate(view.nodes):
+                assert view.starts[nid] == node.start
+                assert view.ends[nid] == node.end
+                assert view.levels[nid] == node.level
+                assert view.values[nid] == node.value
+                assert view.deweys[nid] == node.dewey
+                assert view.tags[view.tag_ids[nid]] == node.tag
+                parent = view.parents[nid]
+                if node.parent is None:
+                    assert parent == -1
+                else:
+                    assert view.nodes[parent] is node.parent
+
+    def test_document_order_and_postings_sorted(self):
+        view = columnar(xmark_document(0.05, seed=1))
+        assert view.starts == sorted(view.starts)
+        for tid in range(len(view.tags)):
+            assert view.tag_starts[tid] == sorted(view.tag_starts[tid])
+            assert len(view.tag_nids[tid]) == len(view.tag_starts[tid]) \
+                == len(view.tag_ends[tid])
+
+    def test_path_ids_intern_root_tag_paths(self):
+        view = columnar(sample_document())
+        for nid in range(view.size):
+            tags = tuple(n.tag for n in view.nodes[nid].path_from_root())
+            assert view.paths[view.path_ids[nid]] == tags
+        # Two c nodes under b chains share structure only when the whole
+        # root path matches: a/b/c vs a/b/b/c vs a/d/c are distinct.
+        c_paths = {view.paths[view.path_ids[nid]]
+                   for nid in view.postings("c")[0]}
+        assert c_paths == {("a", "b", "c"), ("a", "b", "b", "c"),
+                           ("a", "d", "c")}
+
+    def test_ancestry_walks_to_root(self):
+        view = columnar(sample_document())
+        deepest = max(range(view.size), key=lambda nid: view.levels[nid])
+        chain = view.ancestry(deepest)
+        assert chain[0] == 0 and chain[-1] == deepest
+        assert [view.levels[nid] for nid in chain] == \
+            list(range(len(chain)))
+
+    def test_stream_shares_postings_without_predicate(self):
+        view = columnar(sample_document())
+        query_node = TwigNode("c")
+        stream = view.stream(query_node)
+        nids, starts, _ends = view.postings("c")
+        assert stream.nids is nids and stream.starts is starts
+
+    def test_stream_filters_with_predicate(self):
+        view = columnar(sample_document())
+        query_node = TwigNode("c", predicate=lambda v: v == 2)
+        stream = view.stream(query_node)
+        assert len(stream) == 1
+        assert view.values[stream.head_nid()] == 2
+
+    def test_stream_seek_start_binary_searches(self):
+        view = columnar(chain_document(20, tags=("x",)))
+        stream = view.stream(TwigNode("x"))
+        target = stream.starts[10]
+        skipped = stream.seek_start(target)
+        assert skipped == 10
+        assert stream.head_start() == target
+        assert stream.seek_start(10 ** 9) == len(stream) - 10
+        assert stream.eof()
+
+    def test_unknown_tag_is_empty(self):
+        view = columnar(sample_document())
+        assert len(view.stream(TwigNode("zzz"))) == 0
+        assert view.distinct_value_count(TwigNode("zzz")) == 0
+
+
+class TestCaching:
+    def test_columnar_memoised_per_document(self):
+        document = sample_document()
+        assert columnar(document) is columnar(document)
+
+    def test_reindex_invalidates(self):
+        document = sample_document()
+        before = columnar(document)
+        stats_before = document_stats(document)
+        document.root.add("e", text="9")
+        document.reindex()
+        after = columnar(document)
+        assert after is not before
+        assert after.size == before.size + 1
+        assert document_stats(document) is not stats_before
+
+    def test_distinct_documents_get_distinct_views(self):
+        a, b = sample_document(), sample_document()
+        assert columnar(a) is not columnar(b)
+
+    def test_views_do_not_pin_documents(self):
+        """Cached views must not keep dropped documents alive."""
+        import gc
+        import weakref
+
+        document = sample_document()
+        ref = weakref.ref(document)
+        columnar(document)
+        document_stats(document)
+        del document
+        gc.collect()
+        assert ref() is None
+
+
+class TestDocumentStats:
+    def test_tag_and_path_counts(self):
+        stats = document_stats(sample_document())
+        assert stats.size == 7
+        assert stats.tag_count("c") == 3
+        assert stats.tag_count("zzz") == 0
+        assert stats.depth == 3
+        assert stats.max_fanout == 2
+        assert stats.path_counts[("a", "b", "c")] == 1
+        assert stats.distinct_paths == 7  # incl. the root path ("a",)
+
+    def test_chain_count_is_suffix_sum(self):
+        stats = document_stats(sample_document())
+        # c nodes reachable by a b/c parent-child step: a/b/c and a/b/b/c.
+        assert stats.chain_count(["b", "c"]) == 2
+        assert stats.chain_count(["c"]) == 3
+        assert stats.chain_count(["a", "b", "c"]) == 1
+        assert stats.chain_count([]) == 0
+
+    def test_chain_count_bounds_path_cardinality(self):
+        """The planner estimate dominates the true distinct-row count."""
+        from repro.core.decomposition import (
+            decompose,
+            path_relation_cardinality,
+        )
+        from repro.xml.twig_parser import parse_twig
+
+        document = xmark_document(0.1, seed=3)
+        stats = document_stats(document)
+        twig = parse_twig("oa=open_auction(/ir=itemref, //pr=personref)")
+        for path in decompose(twig).paths:
+            estimate = stats.chain_count([n.tag for n in path.nodes])
+            assert estimate >= path_relation_cardinality(document, path)
+
+
+class TestPlannedTwigAlgorithms:
+    def test_linear_twig_plans_pathstack(self):
+        from repro.engine.planner import choose_twig_algorithm
+        from repro.xml.twig_parser import parse_twig
+
+        document = sample_document()
+        assert choose_twig_algorithm(document, parse_twig("a(/b(//c))")) \
+            == "pathstack"
+
+    def test_pc_branching_plans_tjfast(self):
+        from repro.engine.planner import choose_twig_algorithm
+        from repro.xml.twig_parser import parse_twig
+
+        document = sample_document()
+        assert choose_twig_algorithm(document, parse_twig("a(/b, //c)")) \
+            == "tjfast"
+
+    def test_ad_only_branching_consults_stats(self):
+        from repro.engine.planner import choose_twig_algorithm
+        from repro.xml.twig_parser import parse_twig
+
+        # Leaves are the minority of candidates -> tjfast (leaf streams
+        # only); majority -> twigstack.
+        document = sample_document()  # 3 c leaves vs 3 b internals
+        twig = parse_twig("b(//c1=c, //c2=c)")
+        leaf_heavy = choose_twig_algorithm(document, twig)
+        assert leaf_heavy == "twigstack"
+        wide = XMLDocument(element("a", *[element("a")
+                                          for _ in range(10)],
+                                   element("c", element("d", text="1"))))
+        assert choose_twig_algorithm(
+            wide, parse_twig("a(//c, //d)")) == "tjfast"
+
+    def test_plan_query_carries_twig_plan(self):
+        from repro.core.multimodel import MultiModelQuery, TwigBinding
+        from repro.data.scenarios import figure1_query
+        from repro.engine.planner import plan_query
+        from repro.errors import PlanError
+        from repro.xml.twig_parser import parse_twig
+
+        query = figure1_query()
+        plan = plan_query(query)
+        assert plan.algorithm == "xjoin"
+        assert plan.twig_algorithm("invoices") == "tjfast"
+        assert dict(plan.path_cardinalities)  # estimates present
+        forced = plan_query(query, twig_algorithm="twigstack")
+        assert forced.twig_algorithm("invoices") == "twigstack"
+        with pytest.raises(PlanError, match="unknown twig algorithm"):
+            plan_query(query, twig_algorithm="nope")
+        branching = MultiModelQuery(
+            [], [TwigBinding(parse_twig("a(/b, /c)", name="T"),
+                             sample_document())])
+        with pytest.raises(PlanError, match="cannot evaluate"):
+            plan_query(branching, twig_algorithm="pathstack")
