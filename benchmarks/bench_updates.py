@@ -1,0 +1,51 @@
+"""Delta-apply vs rebuild-from-scratch under single-change churn.
+
+The update subsystem's headline claim: once a :class:`QuerySession`
+holds a query open, re-answering it after a single-tuple or
+single-subtree change costs a small delta (trie splice + label patch +
+incremental view maintenance), while the batch engine pays a full
+dictionary/trie/columnar rebuild plus a full join per change. The
+scenarios are shared with ``python -m repro bench --suite updates``
+through :mod:`repro.updates.bench`, so the CLI table and this gate can
+never measure different workloads. Both paths must agree exactly — the
+timing table is evidence, the asserts are the test.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.updates.bench import (
+    SPEEDUP_TARGET,
+    ScenarioResult,
+    triangle_scenario,
+    xmark_scenario,
+)
+
+TRIANGLE_N = 300
+XMARK_FACTOR = 2.0
+
+
+def _assert_and_report(result: ScenarioResult) -> None:
+    rows = [[timing.label, f"{timing.delta_ms:.3f}",
+             f"{timing.rebuild_ms:.3f}", f"{timing.ratio:.1f}x"]
+            for timing in result.timings]
+    report_table(f"single-change updates, {result.title}",
+                 ["operation", "delta ms/update", "rebuild ms/update",
+                  "speedup"],
+                 rows)
+    assert result.consistent, \
+        f"{result.title}: session diverged from rebuild"
+    for timing in result.timings:
+        assert timing.meets_target, \
+            (f"{result.title}: {timing.label} delta-apply only "
+             f"{timing.ratio:.1f}x over rebuild "
+             f"(target >= {SPEEDUP_TARGET:g}x)")
+
+
+def test_triangle_single_tuple_updates_table():
+    _assert_and_report(triangle_scenario(TRIANGLE_N))
+
+
+def test_xmark_single_subtree_updates_table():
+    _assert_and_report(xmark_scenario(XMARK_FACTOR))

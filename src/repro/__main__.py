@@ -7,7 +7,8 @@ Commands:
 * ``figure3 [n]`` — baseline vs XJoin on the adversarial instance
 * ``bench [n]``   — race the engine's algorithms on the standard scenarios
   (``--suite twig`` races the registered twig matchers on an XMark
-  document instead)
+  document; ``--suite updates`` races delta-apply against
+  rebuild-from-scratch for single-tuple / single-subtree changes)
 * ``selftest`` — a quick cross-algorithm consistency check
 
 Options:
@@ -17,7 +18,8 @@ Options:
   instead of the planner's stats-driven choice, for A/B runs on the
   multi-model scenarios. Applies to ``figure3``, ``bench`` and
   ``selftest``.
-* ``--suite NAME`` — ``bench`` suite: ``engine`` (default) or ``twig``.
+* ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig`` or
+  ``updates``.
 """
 
 from __future__ import annotations
@@ -175,6 +177,38 @@ def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None) -> int:
     return 0
 
 
+def cmd_bench_updates(n: int = 300) -> int:
+    """Race delta-apply against rebuild-from-scratch on the dynamic
+    scenarios (shared with ``benchmarks/bench_updates.py`` through
+    :mod:`repro.updates.bench`): the triangle query under single-tuple
+    churn and an XMark factor-2 document under single-subtree churn.
+    Fails on a delta/rebuild divergence or a missed speedup target."""
+    from repro.updates.bench import (
+        SPEEDUP_TARGET,
+        triangle_scenario,
+        xmark_scenario,
+    )
+
+    failures = 0
+    for result in (triangle_scenario(n), xmark_scenario()):
+        print(f"update suite: {result.title}:")
+        for timing in result.timings:
+            print(f"  {timing.label:<14} "
+                  f"delta-apply {timing.delta_ms:8.3f}ms/update   "
+                  f"rebuild {timing.rebuild_ms:8.3f}ms/update   "
+                  f"speedup {timing.ratio:5.1f}x "
+                  f"(target >= {SPEEDUP_TARGET:g}x)")
+        if not result.consistent:
+            print(f"error: {result.title}: session diverged from rebuild",
+                  file=sys.stderr)
+            failures += 1
+        elif not result.ok:
+            print(f"error: {result.title}: delta-apply missed the "
+                  f"{SPEEDUP_TARGET:g}x target", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def cmd_selftest(twig_algorithm: str | None = None) -> int:
     from repro.data.random_instances import random_multimodel_instance
 
@@ -248,10 +282,13 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_figure3(_int_argument(command, args, 6),
                                twig_algorithm)
         if command == "bench":
-            if suite not in (None, "engine", "twig"):
+            if suite not in (None, "engine", "twig", "updates"):
                 print(f"error: unknown bench suite {suite!r}; "
-                      "choose from ['engine', 'twig']", file=sys.stderr)
+                      "choose from ['engine', 'twig', 'updates']",
+                      file=sys.stderr)
                 return 2
+            if suite == "updates":
+                return cmd_bench_updates(_int_argument(command, args, 300))
             n = _int_argument(command, args, 150)
             if suite == "twig":
                 return cmd_bench_twig(n, twig_algorithm)

@@ -24,13 +24,13 @@ which also yields the key lists already sorted — no per-node sort pass.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, insort
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.engine.dictionary import Dictionary, DictionaryBuilder, encode_rows
-from repro.errors import QueryError
+from repro.errors import EngineError, QueryError
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, Value
 
@@ -100,6 +100,65 @@ class EncodedTrie:
     @property
     def depth(self) -> int:
         return len(self.order)
+
+    # -- delta maintenance (repro.updates) ---------------------------------
+
+    def _check_arity(self, row: "tuple[int, ...]") -> None:
+        if len(row) != len(self.order):
+            raise EngineError(
+                f"trie {self.name!r}: row {row!r} has arity {len(row)}, "
+                f"trie order {list(self.order)!r} has arity "
+                f"{len(self.order)}")
+
+    def insert(self, row: "tuple[int, ...]") -> bool:
+        """Insert one encoded row; returns False if it was present.
+
+        Keys stay sorted (``insort``), so iterators and seeks keep
+        working on the patched trie without a rebuild.
+        """
+        self._check_arity(row)
+        if not row:  # zero-arity trie: holds the empty tuple or nothing
+            present = self.size > 0
+            self.size = 1
+            return not present
+        node = self.root
+        created = False
+        for code in row:
+            child = node.children.get(code)
+            if child is None:
+                child = EncodedTrieNode()
+                insort(node.keys, code)
+                node.children[code] = child
+                created = True
+            node = child
+        if created:
+            self.size += 1
+        return created
+
+    def remove(self, row: "tuple[int, ...]") -> bool:
+        """Remove one encoded row, pruning emptied nodes; returns False
+        if the row was not present."""
+        self._check_arity(row)
+        if not row:
+            if not self.size:
+                return False
+            self.size = 0
+            return True
+        path: list[tuple[EncodedTrieNode, int]] = []
+        node = self.root
+        for code in row:
+            child = node.children.get(code)
+            if child is None:
+                return False
+            path.append((node, code))
+            node = child
+        for node, code in reversed(path):
+            if node.children[code].keys:
+                break
+            del node.children[code]
+            del node.keys[bisect_left(node.keys, code)]
+        self.size -= 1
+        return True
 
     def tuples(self):
         """Enumerate stored code tuples in sorted order (for tests)."""

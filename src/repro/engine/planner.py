@@ -54,13 +54,29 @@ def cached_relation_stats(relation: Relation) -> RelationStats:
     entry = _RELATION_STATS_CACHE.get(key)
     if entry is not None and entry[0]() is relation:
         return entry[1]
-    stats = relation_stats(relation)
+    return install_relation_stats(relation, relation_stats(relation))
+
+
+def install_relation_stats(relation: Relation,
+                           stats: RelationStats) -> RelationStats:
+    """Seed the statistics cache for *relation* with precomputed *stats*.
+
+    The update layer (:mod:`repro.updates.relations`) maintains exact
+    statistics from deltas and installs them here, so planning the next
+    query over a freshly updated relation never rescans its rows."""
+    key = id(relation)
 
     def evict(_ref: weakref.ref, key: int = key) -> None:
         _RELATION_STATS_CACHE.pop(key, None)
 
     _RELATION_STATS_CACHE[key] = (weakref.ref(relation, evict), stats)
     return stats
+
+
+def invalidate_relation_stats(relation: Relation) -> None:
+    """Explicitly drop *relation*'s cached statistics (update layer hook:
+    deterministic release instead of relying solely on weakref death)."""
+    _RELATION_STATS_CACHE.pop(id(relation), None)
 
 
 class QueryStatistics:
@@ -82,6 +98,17 @@ class QueryStatistics:
         self._query_ref = weakref.ref(query)
         self._estimates: dict[str, int] | None = None
         self._path_estimates: dict[str, int] | None = None
+
+    def invalidate(self) -> None:
+        """Drop the memoised estimates so the next read re-derives them.
+
+        Called by the update layer after it patches the per-input
+        artifacts (relation stats, columnar views, document stats): the
+        cache entry itself survives the update — only the derived
+        estimates refresh, and they refresh *from* the delta-maintained
+        inputs, never from a rescan of rows or a document walk."""
+        self._estimates = None
+        self._path_estimates = None
 
     @property
     def query(self) -> "MultiModelQuery":
@@ -164,6 +191,18 @@ def statistics_for(query: "MultiModelQuery") -> QueryStatistics:
 
     _QUERY_STATS_CACHE[key] = (weakref.ref(query, evict), stats)
     return stats
+
+
+def refresh_query_statistics(query: "MultiModelQuery") -> None:
+    """Refresh the memoised estimates of *query* after an update.
+
+    The entry is kept (not dropped): its derived estimates are
+    invalidated and will re-read the delta-maintained per-input caches
+    on the next plan. A query that was never planned has nothing cached
+    and nothing to refresh."""
+    entry = _QUERY_STATS_CACHE.get(id(query))
+    if entry is not None and entry[0]() is query:
+        entry[1].invalidate()
 
 
 # ---------------------------------------------------------------------------

@@ -55,3 +55,8 @@ class PlanError(ReproError):
 class EngineError(ReproError):
     """The encoded execution engine was misused (unknown algorithm,
     value outside an encoded domain, instance/algorithm mismatch, ...)."""
+
+
+class UpdateError(ReproError):
+    """An update is invalid (unknown input, foreign node, deleting the
+    document root, row/arity mismatch, ...)."""

@@ -95,6 +95,34 @@ class Relation:
         clone._rows = self._rows
         return clone
 
+    def with_row_changes(self, added: Iterable[Sequence[Value]] = (),
+                         removed: Iterable[Sequence[Value]] = ()
+                         ) -> "Relation":
+        """A new relation with *removed* rows dropped and *added* rows
+        inserted (applied in that order; set semantics).
+
+        The delta constructor used by the update layer: only the added
+        rows are arity-checked, so applying a single-tuple delta never
+        re-validates the whole row set.
+        """
+        rows = set(self._rows)
+        rows.difference_update(tuple(row) for row in removed)
+        arity = self.schema.arity
+        for row in added:
+            tup = tuple(row)
+            if len(tup) != arity:
+                raise RelationError(
+                    f"relation {self.name!r}: row {tup!r} has arity "
+                    f"{len(tup)}, schema {self.schema.attributes!r} has "
+                    f"arity {arity}"
+                )
+            rows.add(tup)
+        clone = Relation.__new__(Relation)
+        clone.name = self.name
+        clone.schema = self.schema
+        clone._rows = frozenset(rows)
+        return clone
+
     def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
         """Projection (with duplicate elimination) onto *attributes*."""
         positions = self.schema.positions(attributes)

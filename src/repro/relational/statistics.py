@@ -41,6 +41,26 @@ class RelationStats:
         return self.columns[attribute].distinct
 
 
+def column_stats_from_frequencies(attribute: str,
+                                  frequency: "dict[Value, int]"
+                                  ) -> ColumnStats:
+    """:class:`ColumnStats` from a value -> occurrence-count map.
+
+    Shared by the from-scratch scan below and the delta-maintained
+    frequency maps of :mod:`repro.updates.relations`, so incrementally
+    maintained statistics are equal (not merely equivalent) to a rescan.
+    """
+    if not frequency:
+        return ColumnStats(attribute, 0, None, None, 0)
+    return ColumnStats(
+        attribute=attribute,
+        distinct=len(frequency),
+        minimum=min(frequency, key=sort_key),
+        maximum=max(frequency, key=sort_key),
+        max_frequency=max(frequency.values()),
+    )
+
+
 def column_stats(relation: Relation, attribute: str) -> ColumnStats:
     """Compute distinct count, min/max and the heaviest-hitter frequency."""
     position = relation.schema.index(attribute)
@@ -48,16 +68,7 @@ def column_stats(relation: Relation, attribute: str) -> ColumnStats:
     for row in relation.rows:
         value = row[position]
         frequency[value] = frequency.get(value, 0) + 1
-    if not frequency:
-        return ColumnStats(attribute, 0, None, None, 0)
-    ordered = sorted(frequency, key=sort_key)
-    return ColumnStats(
-        attribute=attribute,
-        distinct=len(frequency),
-        minimum=ordered[0],
-        maximum=ordered[-1],
-        max_frequency=max(frequency.values()),
-    )
+    return column_stats_from_frequencies(attribute, frequency)
 
 
 def relation_stats(relation: Relation) -> RelationStats:
@@ -66,4 +77,17 @@ def relation_stats(relation: Relation) -> RelationStats:
         name=relation.name,
         cardinality=len(relation),
         columns={a: column_stats(relation, a) for a in relation.schema},
+    )
+
+
+def stats_from_frequencies(name: str, cardinality: int,
+                           frequencies: "dict[str, dict[Value, int]]"
+                           ) -> RelationStats:
+    """Full statistics from per-column frequency maps (the update layer's
+    delta-maintained state), identical to a :func:`relation_stats` rescan."""
+    return RelationStats(
+        name=name,
+        cardinality=cardinality,
+        columns={a: column_stats_from_frequencies(a, freq)
+                 for a, freq in frequencies.items()},
     )

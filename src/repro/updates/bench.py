@@ -1,0 +1,146 @@
+"""Shared scenarios for the update benchmark.
+
+Both front-ends — ``python -m repro bench --suite updates`` and
+``benchmarks/bench_updates.py`` — time the same code through this
+module, so the CLI table, the pytest gate and CI can never drift apart
+on what they measure. Each scenario returns per-operation timings for
+the delta-apply path (a live :class:`~repro.updates.session.
+QuerySession`) against the rebuild-from-scratch path (fresh encode +
+full evaluation per change) plus an exactness check between the two.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.data.synthetic import agm_tight_triangle
+from repro.engine.planner import run_query
+from repro.relational.relation import Relation
+from repro.updates.session import QuerySession
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.twig_parser import parse_twig
+from repro.xml.xmark import xmark_document
+
+#: The acceptance target: delta-apply must beat rebuild by this factor
+#: for single-tuple / single-subtree changes on both scenarios.
+SPEEDUP_TARGET = 3.0
+
+
+@dataclass(frozen=True)
+class UpdateTiming:
+    """One operation kind's delta-apply vs rebuild cost (ms/update)."""
+
+    label: str
+    delta_ms: float
+    rebuild_ms: float
+
+    @property
+    def ratio(self) -> float:
+        return self.rebuild_ms / max(self.delta_ms, 1e-9)
+
+    @property
+    def meets_target(self) -> bool:
+        return self.ratio >= SPEEDUP_TARGET
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All timings of one scenario plus the delta/rebuild agreement."""
+
+    title: str
+    timings: tuple[UpdateTiming, ...]
+    consistent: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.consistent and all(t.meets_target
+                                       for t in self.timings)
+
+
+def _per_op(fn, repeat: int) -> float:
+    start = time.perf_counter()
+    for i in range(repeat):
+        fn(i)
+    return (time.perf_counter() - start) * 1e3 / repeat
+
+
+def triangle_scenario(n: int = 300) -> ScenarioResult:
+    """The triangle query under single-tuple insert/delete churn."""
+    relations = agm_tight_triangle(n)
+    session = QuerySession(MultiModelQuery(relations, name="triangle"))
+
+    def current_clone() -> MultiModelQuery:
+        return MultiModelQuery(
+            [Relation(r.name, r.schema, r.rows)
+             for r in session.query.relations], name="triangle")
+
+    def delta(i: int) -> None:
+        row = (n + 1 + i, n + 1 + i)
+        session.insert("R", row)
+        session.answer()
+        session.delete("R", row)
+        session.answer()
+
+    delta_ms = _per_op(delta, 12) / 2  # two updates per cycle
+    rebuild_ms = _per_op(lambda _i: run_query(current_clone()), 6)
+    consistent = session.answer().rows == run_query(current_clone()).rows
+    return ScenarioResult(
+        title=f"triangle (n={n}, single-tuple insert/delete)",
+        timings=(UpdateTiming("single tuple", delta_ms, rebuild_ms),),
+        consistent=consistent)
+
+
+def xmark_scenario(factor: float = 2.0) -> ScenarioResult:
+    """An XMark document under single-subtree churn and value edits."""
+    document = xmark_document(factor, seed=7)
+    twig = parse_twig("p=person(/nm=name, //i=interest)")
+    session = QuerySession(
+        MultiModelQuery([], [TwigBinding(twig, document)], name="X"))
+    people = document.nodes("people")[0]
+    inserted: list[XMLNode] = []
+
+    def insert(i: int) -> None:
+        subtree = XMLNode("person", attributes={"id": f"bench{i}"})
+        subtree.add("name", text=f"bench-person-{i}")
+        subtree.add("interest", text=f"category{i % 5}")
+        inserted.append(subtree)
+        session.insert_subtree("X", people, subtree)
+        session.answer()
+
+    def delete(i: int) -> None:
+        session.delete_subtree("X", inserted[i])
+        session.answer()
+
+    insert_ms = _per_op(insert, 8)
+    interests = document.nodes("interest")
+
+    def change(i: int) -> None:
+        session.change_value("X", interests[i % len(interests)],
+                             f"retuned{i}")
+        session.answer()
+
+    change_ms = _per_op(change, 8)
+    delete_ms = _per_op(delete, len(inserted))
+
+    # The replica clone is untimed setup; reindex + encode + match is
+    # exactly what the rebuild path pays per change.
+    replica = XMLDocument(document.root.copy())
+
+    def rebuild(_i: int) -> None:
+        replica.reindex()
+        run_query(MultiModelQuery([], [TwigBinding(twig, replica)],
+                                  name="X"))
+
+    rebuild_ms = _per_op(rebuild, 3)
+    oracle = run_query(MultiModelQuery(
+        [], [TwigBinding(twig, XMLDocument(document.root.copy()))],
+        name="X"))
+    return ScenarioResult(
+        title=(f"XMark factor {factor:g} ({document.size()} nodes, "
+               "single-subtree insert/delete + value change)"),
+        timings=(UpdateTiming("subtree insert", insert_ms, rebuild_ms),
+                 UpdateTiming("subtree delete", delete_ms, rebuild_ms),
+                 UpdateTiming("value change", change_ms, rebuild_ms)),
+        consistent=session.answer().rows == oracle.rows)

@@ -1,0 +1,61 @@
+"""Delta records: the version-stamped log entries of the update layer.
+
+Every mutation accepted by the update subsystem is recorded as one
+immutable delta — single tuples on the relational side, single subtrees
+or value edits on the XML side. Logs serve three purposes: they document
+*what* changed (the differential test harness replays them against a
+rebuild-from-scratch oracle), they let downstream caches refresh from
+the change instead of rescanning the input, and they carry the version
+stamp that ties a delta to the input state it produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.schema import Value
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """One batch of tuple changes applied to a named relation.
+
+    ``version`` is the version of the relation *after* the batch;
+    ``inserted``/``deleted`` hold only rows that actually changed
+    membership (inserting a present row or deleting an absent one is
+    filtered out before logging, so replaying a log is idempotent).
+    """
+
+    relation: str
+    version: int
+    inserted: tuple[tuple[Value, ...], ...] = ()
+    deleted: tuple[tuple[Value, ...], ...] = ()
+
+    @property
+    def net_rows(self) -> int:
+        return len(self.inserted) - len(self.deleted)
+
+
+#: Document delta kinds.
+SUBTREE_INSERT = "subtree_insert"
+SUBTREE_DELETE = "subtree_delete"
+VALUE_CHANGE = "value_change"
+
+
+@dataclass(frozen=True)
+class DocumentDelta:
+    """One structural or value edit applied to a document.
+
+    ``version`` is the document version after the edit; ``nodes`` is the
+    number of tree nodes the edit touched (the churn unit that drives the
+    rebuild fallback); ``start`` locates the edit by the pre-edit region
+    label of the subtree root / edited node; ``rebuilt`` records whether
+    the edit was applied as an in-place patch (False) or fell back to a
+    full reindex + view rebuild (True).
+    """
+
+    kind: str
+    version: int
+    nodes: int
+    start: int
+    rebuilt: bool = False

@@ -1,0 +1,130 @@
+"""Delta-maintained attribute dictionaries (append-only + remap).
+
+The engine's :class:`~repro.engine.dictionary.Dictionary` is immutable
+and assigns codes in value order; rebuilding it on every single-tuple
+update would re-sort the whole domain per change. An
+:class:`IncrementalDictionary` keeps the same duck interface (``encode``
+/ ``decode`` / ``codes`` / ``values``) but *learns* unseen values by
+appending codes at the end of the table, which temporarily breaks the
+code-order-equals-value-order invariant. The join kernels only need
+per-trie key lists sorted **by code** plus cross-input code equality —
+both survive appending — so queries stay correct between remaps; only
+value-order reasoning (none of the kernels' hot paths) would not.
+
+The *overflow remap threshold* bounds the drift: once the appended
+fraction exceeds it, :meth:`compact` re-sorts the domain, restores the
+order invariant, and returns the old-code -> new-code remap so the
+owning :class:`~repro.updates.encodings.IncrementalInstance` can
+re-encode its tries. After a compaction the dictionary is equal, code
+for code, to one built from scratch over the same domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import EngineError
+from repro.relational.schema import Value, sort_key
+
+
+class IncrementalDictionary:
+    """A mutable value <-> code bijection with append-only growth.
+
+    >>> d = IncrementalDictionary("a", [3, 1])
+    >>> d.encode(1), d.encode(3)
+    (0, 1)
+    >>> d.learn(2)   # appended past the sorted base
+    2
+    >>> d.overflow
+    1
+    >>> d.compact()  # old code -> new code
+    [0, 2, 1]
+    >>> [d.decode(c) for c in range(len(d))]
+    [1, 2, 3]
+    """
+
+    __slots__ = ("attribute", "values", "codes", "overflow")
+
+    def __init__(self, attribute: str, domain: Iterable[Value] = ()):
+        self.attribute = attribute
+        if not isinstance(domain, (set, frozenset)):
+            domain = set(domain)
+        #: Domain values indexed by code: a sorted base followed by
+        #: learned values in arrival order.
+        self.values: list[Value] = sorted(domain, key=sort_key)
+        self.codes: dict[Value, int] = {
+            value: code for code, value in enumerate(self.values)}
+        #: Number of values appended since the last compaction.
+        self.overflow = 0
+
+    # -- the engine Dictionary duck interface -----------------------------
+
+    def encode(self, value: Value) -> int:
+        try:
+            return self.codes[value]
+        except KeyError:
+            raise EngineError(
+                f"value {value!r} is not in the encoded domain of "
+                f"attribute {self.attribute!r}") from None
+
+    def encode_or_none(self, value: Value) -> int | None:
+        return self.codes.get(value)
+
+    def decode(self, code: int) -> Value:
+        try:
+            return self.values[code]
+        except IndexError:
+            raise EngineError(
+                f"code {code!r} is outside the encoded domain of "
+                f"attribute {self.attribute!r} (size {len(self.values)})"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self.codes
+
+    def __repr__(self) -> str:
+        return (f"IncrementalDictionary({self.attribute!r}, "
+                f"{len(self.values)} values, overflow={self.overflow})")
+
+    # -- delta maintenance -------------------------------------------------
+
+    def learn(self, value: Value) -> int:
+        """The code of *value*, appending a fresh one if it is unseen.
+
+        Deletions never unlearn a value: its code stays valid (old log
+        entries and still-encoded rows may reference it) until the next
+        :meth:`compact` garbage-collects nothing but re-sorts — dead
+        values cost one table slot each, bounded by the remap threshold's
+        eventual rebuild of the owning instance.
+        """
+        code = self.codes.get(value)
+        if code is None:
+            code = len(self.values)
+            self.values.append(value)
+            self.codes[value] = code
+            self.overflow += 1
+        return code
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Appended fraction of the table since the last compaction."""
+        return self.overflow / len(self.values) if self.values else 0.0
+
+    def needs_compaction(self, threshold: float) -> bool:
+        return self.overflow > 0 and self.overflow_fraction > threshold
+
+    def compact(self) -> list[int]:
+        """Re-sort the table into value order; return old -> new codes.
+
+        The result is positionally indexed by old code. After compaction
+        the dictionary equals one built from scratch over the same
+        domain, and ``overflow`` resets to zero.
+        """
+        old_values = self.values
+        self.values = sorted(old_values, key=sort_key)
+        self.codes = {value: code for code, value in enumerate(self.values)}
+        self.overflow = 0
+        return [self.codes[value] for value in old_values]

@@ -1,0 +1,425 @@
+"""Delta application for XML documents and their columnar views.
+
+A :class:`DocumentEditor` is the only sanctioned way to mutate an
+:class:`~repro.xml.model.XMLDocument` without paying a full
+``reindex()`` + columnar rebuild per change. For a localized edit it
+
+* patches the region labels (``start``/``end``/``level``) and Dewey
+  labels on the node objects — a suffix shift plus an ancestor-chain
+  fix-up, never a whole-tree re-annotation;
+* splices the same change into the cached
+  :class:`~repro.xml.columnar.ColumnarDocument` arrays (node columns,
+  per-tag postings, per-path node lists) in place;
+* refreshes :class:`~repro.xml.columnar.DocumentStats` from the patched
+  arrays (tag and path counts read off the maintained postings — no
+  tree walk);
+* bumps the document version and *installs* the patched artifacts into
+  the version-keyed caches, so every twig algorithm, validator and
+  planner estimate transparently reads the refreshed state.
+
+Past a cumulative churn threshold (fraction of the tree touched since
+the last rebuild) the editor falls back to ``document.reindex()`` and a
+fresh build — label gaps never accumulate, and a sequence of large
+edits degrades to the rebuild cost it would have paid anyway.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.errors import UpdateError
+from repro.updates.delta import (
+    SUBTREE_DELETE,
+    SUBTREE_INSERT,
+    VALUE_CHANGE,
+    DocumentDelta,
+)
+from repro.xml.columnar import (
+    ColumnarDocument,
+    DocumentStats,
+    columnar,
+    document_stats,
+    install_columnar,
+    install_document_stats,
+    invalidate_document_caches,
+    stats_from_view,
+)
+from repro.xml.model import XMLDocument, XMLNode
+
+
+class DocumentEditor:
+    """Applies subtree inserts/deletes and value edits as deltas."""
+
+    def __init__(self, document: XMLDocument, *,
+                 churn_threshold: float = 0.5):
+        self.document = document
+        #: Fraction of the tree that may churn before a full rebuild.
+        self.churn_threshold = churn_threshold
+        self._churn = 0  # nodes touched since the last rebuild
+        self.log: list[DocumentDelta] = []
+        self.patches = 0
+        self.rebuilds = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _nid_of(self, view: ColumnarDocument, node: XMLNode) -> int:
+        nid = (view.nid_index.get(node.start)
+               if node.start is not None else None)
+        if nid is None or view.nodes[nid] is not node:
+            raise UpdateError(
+                f"node <{node.tag}> does not belong to the edited document")
+        return nid
+
+    def _ancestor_nids(self, view: ColumnarDocument, nid: int) -> list[int]:
+        chain = []
+        while nid >= 0:
+            chain.append(nid)
+            nid = view.parents[nid]
+        return chain
+
+    def _should_rebuild(self, touched: int) -> bool:
+        size = max(self.document.size(), 1)
+        return self._churn + touched > self.churn_threshold * size
+
+    def _finish(self, kind: str, touched: int, start: int, *,
+                rebuilt: bool, view: ColumnarDocument | None = None,
+                ) -> DocumentDelta:
+        document = self.document
+        if rebuilt:
+            # Drop the superseded artifacts explicitly, reindex (which
+            # bumps the version), and let the caches rebuild lazily.
+            invalidate_document_caches(document)
+            document.reindex()
+            self._churn = 0
+            self.rebuilds += 1
+            version = document.version
+        else:
+            self._churn += touched
+            self.patches += 1
+            # No DocumentStats field depends on node values, so a value
+            # edit carries the current stats object forward unchanged
+            # (read before the bump, while the cache key still matches).
+            stats = (document_stats(document) if kind == VALUE_CHANGE
+                     else None)
+            version = document.bump_version()
+            assert view is not None
+            install_columnar(document, view)
+            if stats is None:
+                stats = stats_from_view(view)
+            install_document_stats(document, stats)
+        delta = DocumentDelta(kind=kind, version=version, nodes=touched,
+                              start=start, rebuilt=rebuilt)
+        self.log.append(delta)
+        return delta
+
+    def stats(self) -> DocumentStats:
+        """The document's current (delta-maintained) statistics."""
+        return document_stats(self.document)
+
+    # -- operations --------------------------------------------------------
+
+    def change_value(self, node: XMLNode, text: str) -> DocumentDelta:
+        """Replace *node*'s text content; labels and structure unchanged."""
+        view = columnar(self.document)
+        nid = self._nid_of(view, node)
+        start = node.start
+        node.text = text
+        view.values[nid] = node.value
+        return self._finish(VALUE_CHANGE, 1, start, rebuilt=False, view=view)
+
+    def insert_subtree(self, parent: XMLNode, subtree: XMLNode, *,
+                       index: int | None = None) -> DocumentDelta:
+        """Attach *subtree* as a child of *parent* at *index* (default:
+        last), patching labels, arrays, postings and stats in place."""
+        if subtree.parent is not None:
+            raise UpdateError(
+                f"subtree root <{subtree.tag}> is already attached")
+        # Only a document root carries start label 0, and roots never
+        # detach — so this rejects both inserting this document's own
+        # root under a descendant (a cycle) and stealing another live
+        # document's tree, while still allowing re-insertion of a
+        # previously deleted (start > 0) subtree.
+        if subtree.start == 0:
+            raise UpdateError(
+                f"subtree root <{subtree.tag}> is a document's root; "
+                f"insert a detached copy instead (XMLNode.copy)")
+        view = columnar(self.document)
+        parent_nid = self._nid_of(view, parent)
+        if index is None:
+            index = len(parent.children)
+        if not 0 <= index <= len(parent.children):
+            raise UpdateError(
+                f"insert index {index} out of range for <{parent.tag}> "
+                f"with {len(parent.children)} children")
+        sub_nodes = list(subtree.iter())  # pre-order
+        m = len(sub_nodes)
+        if self._should_rebuild(m):
+            subtree.parent = parent
+            parent.children.insert(index, subtree)
+            anchor = parent.start if parent.start is not None else 0
+            return self._finish(SUBTREE_INSERT, m, anchor, rebuilt=True)
+
+        # Label space: the new subtree takes [s0, s0 + 2m); every
+        # existing label >= s0 shifts up by 2m. In pre-order terms the
+        # subtree takes node ids [q, q + m).
+        if index < len(parent.children):
+            s0 = parent.children[index].start
+        else:
+            s0 = parent.end
+        assert s0 is not None
+        shift = 2 * m
+        starts, ends = view.starts, view.ends
+        q = bisect_left(starts, s0)
+        ancestors = self._ancestor_nids(view, parent_nid)
+
+        # 1. Region labels: suffix shift on nodes at nid >= q, plus the
+        # end labels of the insertion point's ancestors (their intervals
+        # grow to contain the new subtree).
+        for node in view.nodes[q:]:
+            node.start += shift
+            node.end += shift
+        starts[q:] = [s + shift for s in starts[q:]]
+        ends[q:] = [e + shift for e in ends[q:]]
+        for a in ancestors:
+            view.nodes[a].end += shift
+            ends[a] += shift
+        view.parents[q:] = [p + m if p >= q else p
+                            for p in view.parents[q:]]
+
+        # 2. Per-tag postings and per-path node lists: shift entries at
+        # nid >= q; fix the ancestors' end entries individually.
+        for tid in range(len(view.tags)):
+            nids = view.tag_nids[tid]
+            pos = bisect_left(nids, q)
+            if pos < len(nids):
+                nids[pos:] = [n + m for n in nids[pos:]]
+                column = view.tag_starts[tid]
+                column[pos:] = [s + shift for s in column[pos:]]
+                column = view.tag_ends[tid]
+                column[pos:] = [e + shift for e in column[pos:]]
+        for a in ancestors:
+            tid = view.tag_ids[a]
+            pos = bisect_left(view.tag_nids[tid], a)
+            view.tag_ends[tid][pos] += shift
+        for nids in view.nids_by_path:
+            pos = bisect_left(nids, q)
+            if pos < len(nids):
+                nids[pos:] = [n + m for n in nids[pos:]]
+
+        # 3. Attach and label the subtree: regions from s0, levels below
+        # the parent, Dewey under the parent's label at *index*.
+        subtree.parent = parent
+        parent.children.insert(index, subtree)
+        counter = s0
+        base_level = parent.level + 1  # type: ignore[operator]
+        label_stack: list[tuple[XMLNode, int, int]] = [(subtree,
+                                                        base_level, 0)]
+        while label_stack:
+            node, level, child_index = label_stack.pop()
+            if child_index == 0:
+                node.start = counter
+                node.level = level
+                counter += 1
+            if child_index < len(node.children):
+                label_stack.append((node, level, child_index + 1))
+                label_stack.append((node.children[child_index],
+                                    level + 1, 0))
+            else:
+                node.end = counter
+                counter += 1
+        subtree.dewey = parent.dewey + (index,)  # type: ignore[operator]
+        dewey_stack = [subtree]
+        while dewey_stack:
+            node = dewey_stack.pop()
+            for position, child in enumerate(node.children):
+                child.dewey = node.dewey + (position,)
+                dewey_stack.append(child)
+
+        # 4. Build the subtree's columns (pre-order == [q, q + m)) and
+        # splice them into the node-level arrays.
+        nid_of_sub = {id(node): q + offset
+                      for offset, node in enumerate(sub_nodes)}
+        sub_starts, sub_ends, sub_levels = [], [], []
+        sub_parents, sub_tag_ids, sub_values = [], [], []
+        sub_deweys, sub_path_ids = [], []
+        by_tid: dict[int, list[int]] = {}
+        by_pid: dict[int, list[int]] = {}
+        for offset, node in enumerate(sub_nodes):
+            nid = q + offset
+            sub_starts.append(node.start)
+            sub_ends.append(node.end)
+            sub_levels.append(node.level)
+            sub_parents.append(parent_nid if node is subtree
+                               else nid_of_sub[id(node.parent)])
+            tid = view.tag_index.get(node.tag)
+            if tid is None:
+                tid = view.tag_index[node.tag] = len(view.tags)
+                view.tags.append(node.tag)
+                view.tag_nids.append([])
+                view.tag_starts.append([])
+                view.tag_ends.append([])
+            sub_tag_ids.append(tid)
+            sub_values.append(node.value)
+            sub_deweys.append(node.dewey)
+            parent_pid = (view.path_ids[parent_nid] if node is subtree
+                          else sub_path_ids[
+                              nid_of_sub[id(node.parent)] - q])
+            key = (parent_pid, tid)
+            pid = view.path_table.get(key)
+            if pid is None:
+                pid = view.path_table[key] = len(view.paths)
+                prefix = view.paths[parent_pid] if parent_pid >= 0 else ()
+                view.paths.append(prefix + (node.tag,))
+                view.nids_by_path.append([])
+                view.pids_by_last_tag.setdefault(tid, []).append(pid)
+            sub_path_ids.append(pid)
+            by_tid.setdefault(tid, []).append(nid)
+            by_pid.setdefault(pid, []).append(nid)
+        view.nodes[q:q] = sub_nodes
+        starts[q:q] = sub_starts
+        ends[q:q] = sub_ends
+        view.levels[q:q] = sub_levels
+        view.parents[q:q] = sub_parents
+        view.tag_ids[q:q] = sub_tag_ids
+        view.values[q:q] = sub_values
+        view.deweys[q:q] = sub_deweys
+        view.path_ids[q:q] = sub_path_ids
+        view.size += m
+
+        # 5. Insert the new posting/path entries: the new nids form one
+        # contiguous sorted block per tag and per path.
+        for tid, new_nids in by_tid.items():
+            nids = view.tag_nids[tid]
+            pos = bisect_left(nids, q)
+            nids[pos:pos] = new_nids
+            view.tag_starts[tid][pos:pos] = [starts[n] for n in new_nids]
+            view.tag_ends[tid][pos:pos] = [ends[n] for n in new_nids]
+        for pid, new_nids in by_pid.items():
+            nids = view.nids_by_path[pid]
+            pos = bisect_left(nids, q)
+            nids[pos:pos] = new_nids
+        view.nid_index = {start: nid
+                          for nid, start in enumerate(starts)}
+
+        # 6. Dewey surgery on the following siblings: their component at
+        # the parent's depth moves up by one.
+        depth = len(parent.dewey)  # type: ignore[arg-type]
+        for sibling in parent.children[index + 1:]:
+            for node in sibling.iter():
+                label = node.dewey
+                node.dewey = (label[:depth] + (label[depth] + 1,)
+                              + label[depth + 1:])
+                view.deweys[view.nid_index[node.start]] = node.dewey
+
+        # 7. Document-level indexes.
+        self.document._by_start[q:q] = sub_nodes
+        by_tag = self.document._by_tag
+        for node in sub_nodes:
+            insort(by_tag.setdefault(node.tag, []), node,
+                   key=lambda n: n.start)
+
+        return self._finish(SUBTREE_INSERT, m, s0, rebuilt=False, view=view)
+
+    def delete_subtree(self, node: XMLNode) -> DocumentDelta:
+        """Detach *node*'s whole subtree, patching everything in place."""
+        if node.parent is None:
+            raise UpdateError("cannot delete the document root")
+        view = columnar(self.document)
+        q = self._nid_of(view, node)
+        m = (node.end - node.start + 1) // 2  # type: ignore[operator]
+        s0 = node.start
+        assert s0 is not None
+        parent = node.parent
+        if self._should_rebuild(m):
+            parent.children.remove(node)
+            node.parent = None
+            return self._finish(SUBTREE_DELETE, m, s0, rebuilt=True)
+
+        shift = 2 * m
+        parent_nid = view.parents[q]
+        ancestors = self._ancestor_nids(view, parent_nid)
+        sub_nodes = view.nodes[q:q + m]
+        starts, ends = view.starts, view.ends
+
+        # 1. Postings and path lists: drop the dead block, shift the
+        # suffix, fix the ancestors' end entries.
+        for tid in range(len(view.tags)):
+            nids = view.tag_nids[tid]
+            lo = bisect_left(nids, q)
+            hi = bisect_left(nids, q + m, lo)
+            if hi > lo:
+                del nids[lo:hi]
+                del view.tag_starts[tid][lo:hi]
+                del view.tag_ends[tid][lo:hi]
+            if lo < len(nids):
+                nids[lo:] = [n - m for n in nids[lo:]]
+                column = view.tag_starts[tid]
+                column[lo:] = [s - shift for s in column[lo:]]
+                column = view.tag_ends[tid]
+                column[lo:] = [e - shift for e in column[lo:]]
+        for a in ancestors:
+            tid = view.tag_ids[a]
+            pos = bisect_left(view.tag_nids[tid], a)
+            view.tag_ends[tid][pos] -= shift
+        for nids in view.nids_by_path:
+            lo = bisect_left(nids, q)
+            hi = bisect_left(nids, q + m, lo)
+            if hi > lo:
+                del nids[lo:hi]
+            if lo < len(nids):
+                nids[lo:] = [n - m for n in nids[lo:]]
+
+        # 2. Region labels of the survivors.
+        for survivor in view.nodes[q + m:]:
+            survivor.start -= shift
+            survivor.end -= shift
+        for a in ancestors:
+            view.nodes[a].end -= shift
+            ends[a] -= shift
+
+        # 3. Node-level arrays.
+        del view.nodes[q:q + m]
+        del starts[q:q + m]
+        starts[q:] = [s - shift for s in starts[q:]]
+        del ends[q:q + m]
+        ends[q:] = [e - shift for e in ends[q:]]
+        del view.levels[q:q + m]
+        del view.parents[q:q + m]
+        view.parents[q:] = [p - m if p >= q + m else p
+                            for p in view.parents[q:]]
+        del view.tag_ids[q:q + m]
+        del view.values[q:q + m]
+        del view.deweys[q:q + m]
+        del view.path_ids[q:q + m]
+        view.size -= m
+        view.nid_index = {start: nid
+                          for nid, start in enumerate(starts)}
+
+        # 4. Detach; Dewey surgery on the following siblings.
+        index = parent.children.index(node)
+        parent.children.pop(index)
+        node.parent = None
+        depth = len(parent.dewey)  # type: ignore[arg-type]
+        for sibling in parent.children[index:]:
+            for survivor in sibling.iter():
+                label = survivor.dewey
+                survivor.dewey = (label[:depth] + (label[depth] - 1,)
+                                  + label[depth + 1:])
+                view.deweys[view.nid_index[survivor.start]] = survivor.dewey
+
+        # 5. Document-level indexes.
+        del self.document._by_start[q:q + m]
+        dead = {id(dead_node) for dead_node in sub_nodes}
+        by_tag = self.document._by_tag
+        for tag in {dead_node.tag for dead_node in sub_nodes}:
+            kept = [n for n in by_tag[tag] if id(n) not in dead]
+            if kept:
+                by_tag[tag] = kept
+            else:
+                del by_tag[tag]
+
+        return self._finish(SUBTREE_DELETE, m, s0, rebuilt=False, view=view)
+
+    def __repr__(self) -> str:
+        return (f"DocumentEditor({self.document!r}, {self.patches} patches, "
+                f"{self.rebuilds} rebuilds, churn={self._churn})")

@@ -1,0 +1,142 @@
+"""Version-stamped relations with delta logs and incremental statistics.
+
+A :class:`VersionedRelation` owns the current :class:`Relation` object
+for one input and accepts single-tuple inserts/deletes (or batches).
+Each applied batch produces a fresh immutable ``Relation`` (built by the
+delta constructor, so only changed rows are validated), appends a
+:class:`~repro.updates.delta.RelationDelta` to the log, and maintains
+exact per-column frequency maps from which
+:class:`~repro.relational.statistics.RelationStats` are derived without
+rescanning rows. The maintained stats are installed into the planner's
+cache (:func:`repro.engine.planner.install_relation_stats`), so planning
+after an update never pays a statistics rescan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.engine.planner import install_relation_stats, \
+    invalidate_relation_stats
+from repro.errors import UpdateError
+from repro.relational.relation import Relation
+from repro.relational.schema import Value
+from repro.relational.statistics import RelationStats, stats_from_frequencies
+from repro.updates.delta import RelationDelta
+
+
+class VersionedRelation:
+    """One relational input under a stream of tuple updates."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.version = 0
+        self.log: list[RelationDelta] = []
+        #: attribute -> value -> occurrence count, maintained per delta.
+        self._frequencies: dict[str, dict[Value, int]] = {
+            attribute: {} for attribute in relation.schema}
+        positions = [(attribute, relation.schema.index(attribute))
+                     for attribute in relation.schema]
+        for row in relation.rows:
+            for attribute, position in positions:
+                frequency = self._frequencies[attribute]
+                value = row[position]
+                frequency[value] = frequency.get(value, 0) + 1
+        self._stats: RelationStats | None = None
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    # -- updates -----------------------------------------------------------
+
+    def apply(self, inserted: Iterable[Sequence[Value]] = (),
+              deleted: Iterable[Sequence[Value]] = ()
+              ) -> RelationDelta:
+        """Apply one batch (deletes first, then inserts; set semantics).
+
+        No-op rows — deleting an absent tuple, inserting a present one —
+        are filtered before the delta is logged, so the returned record
+        holds exactly the membership changes. Raises
+        :class:`~repro.errors.UpdateError` on an arity mismatch.
+        """
+        arity = self.relation.schema.arity
+
+        def checked(row: Sequence[Value]) -> tuple[Value, ...]:
+            tup = tuple(row)
+            if len(tup) != arity:
+                raise UpdateError(
+                    f"relation {self.name!r}: row {tup!r} has arity "
+                    f"{len(tup)}, schema has arity {arity}")
+            return tup
+
+        rows = self.relation.rows
+        dropped: list[tuple[Value, ...]] = []
+        seen_dropped: set[tuple[Value, ...]] = set()
+        for row in deleted:
+            tup = checked(row)
+            if tup in rows and tup not in seen_dropped:
+                dropped.append(tup)
+                seen_dropped.add(tup)
+        added: list[tuple[Value, ...]] = []
+        seen_added: set[tuple[Value, ...]] = set()
+        for row in inserted:
+            tup = checked(row)
+            present = tup in rows and tup not in seen_dropped
+            if not present and tup not in seen_added:
+                added.append(tup)
+                seen_added.add(tup)
+
+        previous = self.relation
+        self.relation = previous.with_row_changes(added=added,
+                                                  removed=dropped)
+        self.version += 1
+        delta = RelationDelta(self.name, self.version,
+                              inserted=tuple(added), deleted=tuple(dropped))
+        self.log.append(delta)
+
+        positions = [(a, previous.schema.index(a))
+                     for a in previous.schema]
+        for tup in dropped:
+            for attribute, position in positions:
+                frequency = self._frequencies[attribute]
+                value = tup[position]
+                count = frequency[value] - 1
+                if count:
+                    frequency[value] = count
+                else:
+                    del frequency[value]
+        for tup in added:
+            for attribute, position in positions:
+                frequency = self._frequencies[attribute]
+                value = tup[position]
+                frequency[value] = frequency.get(value, 0) + 1
+
+        self._stats = None
+        # The superseded Relation object's cached stats are released
+        # explicitly (not left to weakref death), and the new object's
+        # cache entry is seeded from the maintained frequencies.
+        invalidate_relation_stats(previous)
+        install_relation_stats(self.relation, self.stats())
+        return delta
+
+    def insert(self, row: Sequence[Value]) -> RelationDelta:
+        return self.apply(inserted=[row])
+
+    def delete(self, row: Sequence[Value]) -> RelationDelta:
+        return self.apply(deleted=[row])
+
+    # -- maintained statistics --------------------------------------------
+
+    def stats(self) -> RelationStats:
+        """Exact statistics derived from the maintained frequency maps —
+        equal to :func:`repro.relational.statistics.relation_stats` on
+        the current rows, with no rescan."""
+        if self._stats is None:
+            self._stats = stats_from_frequencies(
+                self.name, len(self.relation), self._frequencies)
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (f"VersionedRelation({self.name!r}, v{self.version}, "
+                f"{len(self.relation)} rows, {len(self.log)} deltas)")

@@ -1,0 +1,277 @@
+"""Query sessions: encoded state held across an update stream.
+
+A :class:`QuerySession` wraps one :class:`~repro.core.multimodel.
+MultiModelQuery` and keeps every expensive per-query artifact alive
+between updates:
+
+* each relational input as a :class:`~repro.updates.relations.
+  VersionedRelation` (delta log + stats installed into the planner
+  cache),
+* each bound document behind a :class:`~repro.updates.documents.
+  DocumentEditor` (columnar view + stats patched in place and installed
+  into the version-keyed caches),
+* each twig's answer as a :class:`~repro.updates.twigs.
+  MaintainedTwigAnswer` (support-counted, edit-local deltas),
+* one :class:`~repro.updates.encodings.IncrementalInstance` over the
+  relationalized inputs (relations + twig answers) for the relational
+  kernels, and
+* the materialized query answer itself, maintained by classic delta
+  rules for natural joins: a deleted input tuple kills exactly the
+  result rows that restrict to it; an inserted tuple contributes the
+  join of its singleton with the other (current) inputs.
+
+``answer()`` therefore re-answers the query after a single-tuple or
+single-subtree change in time proportional to the change's footprint,
+while ``python -m repro bench --suite updates`` races it against the
+rebuild-from-scratch path (fresh encode + full join per change).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.multimodel import MultiModelQuery
+from repro.engine.planner import refresh_query_statistics, run_query
+from repro.errors import UpdateError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, Value
+from repro.updates.delta import DocumentDelta, RelationDelta
+from repro.updates.documents import DocumentEditor
+from repro.updates.encodings import IncrementalInstance
+from repro.updates.relations import VersionedRelation
+from repro.updates.twigs import MaintainedTwigAnswer, candidate_roots
+from repro.xml.model import XMLNode
+
+
+class QuerySession:
+    """One query held open — and kept answered — across updates."""
+
+    def __init__(self, query: MultiModelQuery, *,
+                 churn_threshold: float = 0.5,
+                 overflow_threshold: float = 0.25):
+        self.query = query
+        self.version = 0
+        self.relations: dict[str, VersionedRelation] = {
+            relation.name: VersionedRelation(relation)
+            for relation in query.relations}
+        # One editor per distinct document object (two twigs may bind
+        # the same tree); answers are per twig binding.
+        self.editors: dict[int, DocumentEditor] = {}
+        self._editor_of: dict[str, DocumentEditor] = {}
+        self.answers: dict[str, MaintainedTwigAnswer] = {}
+        for binding in query.twigs:
+            editor = self.editors.get(id(binding.document))
+            if editor is None:
+                editor = DocumentEditor(binding.document,
+                                        churn_threshold=churn_threshold)
+                self.editors[id(binding.document)] = editor
+            self._editor_of[binding.name] = editor
+            self.answers[binding.name] = MaintainedTwigAnswer(
+                binding.document, binding.twig)
+        self.instance = IncrementalInstance(
+            query.name, self._inputs(),
+            order=query.attributes,
+            overflow_threshold=overflow_threshold)
+        self._attributes = query.attributes
+        self._result_rows: set[tuple[Value, ...]] = set(
+            run_query(query).rows)
+        self._answer: Relation | None = None
+
+    # -- current inputs ----------------------------------------------------
+
+    def _inputs(self) -> list[Relation]:
+        """The relationalized inputs at their current versions."""
+        return ([versioned.relation
+                 for versioned in self.relations.values()]
+                + [answer.relation() for answer in self.answers.values()])
+
+    def _other_inputs(self, except_name: str) -> list[Relation]:
+        return [relation for relation in self._inputs()
+                if relation.name != except_name]
+
+    # -- relational updates ------------------------------------------------
+
+    def insert(self, relation_name: str,
+               row: Sequence[Value]) -> RelationDelta:
+        """Insert one tuple into a relational input."""
+        return self._apply_relation(relation_name, inserted=[row])
+
+    def delete(self, relation_name: str,
+               row: Sequence[Value]) -> RelationDelta:
+        """Delete one tuple from a relational input."""
+        return self._apply_relation(relation_name, deleted=[row])
+
+    def _apply_relation(self, name: str,
+                        inserted: "Sequence[Sequence[Value]]" = (),
+                        deleted: "Sequence[Sequence[Value]]" = ()
+                        ) -> RelationDelta:
+        versioned = self.relations.get(name)
+        if versioned is None:
+            raise UpdateError(
+                f"unknown relation {name!r}; "
+                f"choose from {sorted(self.relations)!r}")
+        delta = versioned.apply(inserted=inserted, deleted=deleted)
+        # Swap the fresh Relation object into the live query.
+        for position, relation in enumerate(self.query.relations):
+            if relation.name == name:
+                self.query.relations[position] = versioned.relation
+        self._propagate(name, versioned.relation.schema.attributes,
+                        added=delta.inserted, removed=delta.deleted)
+        return delta
+
+    # -- document updates --------------------------------------------------
+
+    def _binding_editor(self, twig_name: str) -> DocumentEditor:
+        editor = self._editor_of.get(twig_name)
+        if editor is None:
+            raise UpdateError(
+                f"unknown twig input {twig_name!r}; "
+                f"choose from {sorted(self._editor_of)!r}")
+        return editor
+
+    def _document_edit(self, editor: DocumentEditor, *,
+                       before_anchor: XMLNode,
+                       before_subtree: bool,
+                       after_anchor_fn,
+                       after_subtree: bool,
+                       edit_fn) -> DocumentDelta:
+        """Run one edit with before/after answer snapshots per twig."""
+        document = editor.document
+        bindings = [binding for binding in self.query.twigs
+                    if binding.document is document]
+        before = {}
+        for binding in bindings:
+            answer = self.answers[binding.name]
+            roots = candidate_roots(binding.twig, before_anchor,
+                                    include_subtree=before_subtree)
+            before[binding.name] = answer.snapshot(roots)
+        delta = edit_fn()
+        for binding in bindings:
+            answer = self.answers[binding.name]
+            anchor = after_anchor_fn()
+            roots = candidate_roots(binding.twig, anchor,
+                                    include_subtree=after_subtree)
+            after = answer.snapshot(roots)
+            added, removed = answer.apply_snapshots(
+                before[binding.name], after)
+            self._propagate(binding.name, answer.attributes,
+                            added=added, removed=removed)
+        if not bindings:
+            self._bump()
+        return delta
+
+    def insert_subtree(self, twig_name: str, parent: XMLNode,
+                       subtree: XMLNode, *,
+                       index: int | None = None) -> DocumentDelta:
+        """Insert *subtree* under *parent* in the named twig's document."""
+        editor = self._binding_editor(twig_name)
+        return self._document_edit(
+            editor,
+            # Pre-edit, only the ancestor chain exists; post-edit the
+            # inserted subtree can host new embedding roots too.
+            before_anchor=parent, before_subtree=False,
+            after_anchor_fn=lambda: subtree, after_subtree=True,
+            edit_fn=lambda: editor.insert_subtree(parent, subtree,
+                                                  index=index))
+
+    def delete_subtree(self, twig_name: str,
+                       node: XMLNode) -> DocumentDelta:
+        """Delete *node*'s subtree from the named twig's document."""
+        editor = self._binding_editor(twig_name)
+        parent = node.parent
+        if parent is None:
+            raise UpdateError("cannot delete the document root")
+        return self._document_edit(
+            editor,
+            before_anchor=node, before_subtree=True,
+            after_anchor_fn=lambda: parent, after_subtree=False,
+            edit_fn=lambda: editor.delete_subtree(node))
+
+    def change_value(self, twig_name: str, node: XMLNode,
+                     text: str) -> DocumentDelta:
+        """Change *node*'s text content in the named twig's document."""
+        editor = self._binding_editor(twig_name)
+        return self._document_edit(
+            editor,
+            # Only embeddings using *node* itself can change, and their
+            # root images sit on its ancestor-or-self chain.
+            before_anchor=node, before_subtree=False,
+            after_anchor_fn=lambda: node, after_subtree=False,
+            edit_fn=lambda: editor.change_value(node, text))
+
+    # -- delta propagation -------------------------------------------------
+
+    def _bump(self) -> None:
+        self.version += 1
+        self._answer = None
+        refresh_query_statistics(self.query)
+
+    def _propagate(self, input_name: str,
+                   attributes: "tuple[str, ...]",
+                   added: "Sequence[tuple[Value, ...]]",
+                   removed: "Sequence[tuple[Value, ...]]") -> None:
+        """Fold one input's row delta into the maintained artifacts."""
+        self.instance.apply(input_name, added=added, removed=removed)
+        if added or removed:
+            positions = tuple(self._attributes.index(a)
+                              for a in attributes)
+            if removed:
+                dead = set(map(tuple, removed))
+                self._result_rows = {
+                    row for row in self._result_rows
+                    if tuple(row[p] for p in positions) not in dead}
+            if added:
+                others = self._other_inputs(input_name)
+                schema = Schema(attributes)
+                for row in added:
+                    self._result_rows.update(
+                        self._delta_join(
+                            Relation(input_name, schema, [row]), others))
+        self._bump()
+
+    def _delta_join(self, seed: Relation,
+                    others: "list[Relation]"
+                    ) -> "set[tuple[Value, ...]]":
+        """Rows the *seed* singleton contributes to the full answer:
+        greedy connected fold of the remaining inputs, projected onto
+        the query's attribute order."""
+        result = seed
+        remaining = list(others)
+        while remaining:
+            if not result:
+                return set()
+            bound = set(result.schema.attributes)
+            pick = next(
+                (relation for relation in remaining
+                 if bound & set(relation.schema.attributes)),
+                remaining[0])
+            remaining.remove(pick)
+            result = result.natural_join(pick)
+        if not result:
+            return set()
+        positions = result.schema.positions(self._attributes)
+        return {tuple(row[p] for p in positions) for row in result.rows}
+
+    # -- answers -----------------------------------------------------------
+
+    def answer(self) -> Relation:
+        """The query's current answer (maintained, never recomputed)."""
+        if self._answer is None:
+            self._answer = Relation(self.query.name,
+                                    Schema(self._attributes),
+                                    self._result_rows)
+        return self._answer
+
+    def run(self, algorithm: str = "generic_join") -> Relation:
+        """Run a relational kernel over the maintained encoded instance
+        (the relationalized view: relations ⋈ twig answers), decoded and
+        projected like :func:`~repro.engine.planner.run_query`."""
+        result = self.instance.run(algorithm)
+        if result.schema.attributes != self._attributes:
+            result = result.project(self._attributes, name=self.query.name)
+        return result.with_name(self.query.name)
+
+    def __repr__(self) -> str:
+        return (f"QuerySession({self.query.name!r}, v{self.version}, "
+                f"{len(self.relations)} relations, "
+                f"{len(self.answers)} twigs)")

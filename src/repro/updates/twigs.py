@@ -1,0 +1,113 @@
+"""Incremental maintenance of twig answers under document edits.
+
+The full answer of a twig is a *set* of value tuples, but one tuple may
+be witnessed by many embeddings, so set-level deletion needs support
+counting: :class:`MaintainedTwigAnswer` keeps ``tuple -> embedding
+count`` and turns an edit into an exact answer delta.
+
+The locality argument: every query node of a twig is a descendant of the
+twig root, so every node of an embedding lies in the subtree of the
+embedding's root image. An edit at (or inserting/removing) a subtree
+``S`` can therefore only create or destroy embeddings whose root image
+is an ancestor of ``S`` or inside ``S`` — a set of candidate roots of
+size O(depth + |S|), not O(document). Re-enumerating the embeddings
+rooted at just those candidates before and after the edit yields the
+exact count delta; untouched embeddings under the same roots cancel.
+
+The worst case (the twig root's tag sits at or near the document root)
+degrades to a full re-match of that twig — never worse than the rebuild
+path, and the common case (edits deep in a large document) touches a
+few dozen candidate roots.
+"""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Value
+from repro.xml.model import XMLDocument, XMLNode
+from repro.xml.navigation import match_embeddings
+from repro.xml.twig import TwigQuery
+
+
+def embeddings_rooted_at(document: XMLDocument, twig: TwigQuery,
+                         root_node: XMLNode) -> "list[dict[str, XMLNode]]":
+    """All embeddings whose root query node maps to *root_node* — the
+    naive matcher with the root pinned, so the matching semantics stay
+    in one place (:func:`repro.xml.navigation.match_embeddings`)."""
+    return match_embeddings(document, twig, root=root_node)
+
+
+def candidate_roots(twig: TwigQuery, anchor: XMLNode, *,
+                    include_subtree: bool) -> list[XMLNode]:
+    """Root-image candidates for embeddings touching *anchor*'s subtree:
+    the ancestor-or-self chain, plus (optionally) the subtree itself."""
+    tag = twig.root.tag
+    roots = [node for node in anchor.path_from_root() if node.tag == tag]
+    if include_subtree:
+        roots.extend(node for node in anchor.descendants()
+                     if node.tag == tag)
+    return roots
+
+
+class MaintainedTwigAnswer:
+    """One twig's answer under updates, with embedding support counts."""
+
+    def __init__(self, document: XMLDocument, twig: TwigQuery):
+        self.document = document
+        self.twig = twig
+        self.attributes = twig.attributes
+        self.counts: dict[tuple[Value, ...], int] = {}
+        for embedding in match_embeddings(document, twig):
+            row = self._row(embedding)
+            self.counts[row] = self.counts.get(row, 0) + 1
+        self._relation: Relation | None = None
+
+    def _row(self, embedding: "dict[str, XMLNode]") -> tuple[Value, ...]:
+        return tuple(embedding[a].value for a in self.attributes)
+
+    def relation(self) -> Relation:
+        """The current answer (set semantics), over the twig attributes."""
+        if self._relation is None:
+            self._relation = Relation(self.twig.name, self.attributes,
+                                      self.counts)
+        return self._relation
+
+    # -- the edit protocol -------------------------------------------------
+
+    def snapshot(self, roots: "list[XMLNode]"
+                 ) -> dict[tuple[Value, ...], int]:
+        """Support counts of the embeddings rooted at *roots* (call once
+        before and once after the edit; the difference is the delta)."""
+        counts: dict[tuple[Value, ...], int] = {}
+        for root_node in roots:
+            for embedding in embeddings_rooted_at(self.document, self.twig,
+                                                  root_node):
+                row = self._row(embedding)
+                counts[row] = counts.get(row, 0) + 1
+        return counts
+
+    def apply_snapshots(self, before: dict, after: dict
+                        ) -> "tuple[list[tuple], list[tuple]]":
+        """Fold a before/after snapshot pair into the maintained counts;
+        returns (tuples added to the answer, tuples removed from it)."""
+        added: list[tuple[Value, ...]] = []
+        removed: list[tuple[Value, ...]] = []
+        for row, count in before.items():
+            balance = self.counts.get(row, 0) - count
+            delta = after.pop(row, 0)  # consumed: handled right here
+            balance += delta
+            if balance > 0:
+                self.counts[row] = balance
+            else:
+                if row in self.counts:
+                    removed.append(row)
+                self.counts.pop(row, None)
+        for row, count in after.items():
+            if count <= 0:
+                continue
+            if row not in self.counts:
+                added.append(row)
+            self.counts[row] = self.counts.get(row, 0) + count
+        if added or removed:
+            self._relation = None
+        return added, removed

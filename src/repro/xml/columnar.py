@@ -108,9 +108,9 @@ class ColumnarDocument:
     # evicted view).
     __slots__ = ("size", "nodes", "starts", "ends", "levels",
                  "parents", "tag_ids", "values", "deweys", "path_ids",
-                 "tags", "tag_index", "paths", "tag_nids", "tag_starts",
-                 "tag_ends", "nids_by_path", "pids_by_last_tag",
-                 "nid_index")
+                 "tags", "tag_index", "paths", "path_table", "tag_nids",
+                 "tag_starts", "tag_ends", "nids_by_path",
+                 "pids_by_last_tag", "nid_index")
 
     def __init__(self, document: XMLDocument):
         root = document.root
@@ -171,6 +171,9 @@ class ColumnarDocument:
         self.tags = tags
         self.tag_index = tag_index
         self.paths = paths
+        # Kept for the update layer: interning new paths during a delta
+        # patch (repro.updates.documents) without re-deriving the table.
+        self.path_table = path_table
 
         tag_nids: list[list[int]] = [[] for _ in tags]
         tag_starts: list[list[int]] = [[] for _ in tags]
@@ -259,35 +262,65 @@ class ColumnarDocument:
 # weakref-cached accessors (one build per live document version)
 # ---------------------------------------------------------------------------
 
-#: id(document) -> (weakref, document.version, cached value). Keyed by id
-#: for O(1) lookup; the eviction callback drops the entry with the
-#: document, and the version guard invalidates it the moment the tree is
-#: reindexed.
-_COLUMNAR_CACHE: "dict[int, tuple[weakref.ref, int, ColumnarDocument]]" = {}
-_STATS_CACHE: "dict[int, tuple[weakref.ref, int, DocumentStats]]" = {}
+#: (id(document), document.version) -> (weakref, cached value). Keying on
+#: the reindex version (not just the id) guarantees a stale view can never
+#: be returned for a document object that was mutated and reindexed: the
+#: lookup key itself changes with every version bump. ``_LATEST`` tracks
+#: the version cached per id so superseded entries are dropped eagerly
+#: (one live entry per document per cache) and the eviction callback can
+#: clear both maps when the document is collected.
+_COLUMNAR_CACHE: "dict[tuple[int, int], tuple[weakref.ref, ColumnarDocument]]" = {}
+_COLUMNAR_LATEST: "dict[int, int]" = {}
+_STATS_CACHE: "dict[tuple[int, int], tuple[weakref.ref, DocumentStats]]" = {}
+_STATS_LATEST: "dict[int, int]" = {}
 
 
-def _cached_per_document(document: XMLDocument, cache: dict, build):
-    key = id(document)
+def _install(document: XMLDocument, cache: dict, latest: dict, value):
+    ident = id(document)
     version = getattr(document, "version", 0)
-    entry = cache.get(key)
-    if entry is not None and entry[0]() is document and entry[1] == version:
-        return entry[2]
-    value = build(document)
+    previous = latest.get(ident)
+    if previous is not None and previous != version:
+        cache.pop((ident, previous), None)
+    key = (ident, version)
 
-    # The cache is bound as a default so eviction still works during
+    # The maps are bound as defaults so eviction still works during
     # interpreter shutdown, when module globals may already be None.
-    def evict(_ref: weakref.ref, key: int = key,
-              cache: dict = cache) -> None:
+    def evict(_ref: weakref.ref, key: "tuple[int, int]" = key,
+              cache: dict = cache, latest: dict = latest) -> None:
         cache.pop(key, None)
+        if latest.get(key[0]) == key[1]:
+            latest.pop(key[0], None)
 
-    cache[key] = (weakref.ref(document, evict), version, value)
+    cache[key] = (weakref.ref(document, evict), value)
+    latest[ident] = version
     return value
+
+
+def _cached_per_document(document: XMLDocument, cache: dict, latest: dict,
+                         build):
+    key = (id(document), getattr(document, "version", 0))
+    entry = cache.get(key)
+    if entry is not None and entry[0]() is document:
+        return entry[1]
+    return _install(document, cache, latest, build(document))
 
 
 def columnar(document: XMLDocument) -> ColumnarDocument:
     """The (memoised) columnar view of *document*."""
-    return _cached_per_document(document, _COLUMNAR_CACHE, ColumnarDocument)
+    return _cached_per_document(document, _COLUMNAR_CACHE, _COLUMNAR_LATEST,
+                                ColumnarDocument)
+
+
+def install_columnar(document: XMLDocument,
+                     view: ColumnarDocument) -> ColumnarDocument:
+    """Install a delta-maintained view for *document*'s current version.
+
+    The update layer (:mod:`repro.updates.documents`) patches the view in
+    place, bumps the document version, and installs the result here so
+    every twig algorithm and XJoin's path gathering read the refreshed
+    arrays without a rebuild.
+    """
+    return _install(document, _COLUMNAR_CACHE, _COLUMNAR_LATEST, view)
 
 
 @dataclass(frozen=True)
@@ -324,11 +357,16 @@ class DocumentStats:
                    if len(path) >= k and path[-k:] == suffix)
 
 
-def _build_stats(view: ColumnarDocument) -> DocumentStats:
+def stats_from_view(view: ColumnarDocument) -> DocumentStats:
+    """:class:`DocumentStats` derived from a (possibly delta-maintained)
+    columnar view. Tags and paths whose postings emptied out under
+    deletions are filtered, so the summary always equals one computed
+    from scratch on the current tree."""
     tag_counts = {tag: len(view.tag_nids[tid])
-                  for tag, tid in view.tag_index.items()}
+                  for tag, tid in view.tag_index.items()
+                  if view.tag_nids[tid]}
     path_counts = {view.paths[pid]: len(nids)
-                   for pid, nids in enumerate(view.nids_by_path)}
+                   for pid, nids in enumerate(view.nids_by_path) if nids}
     children = [0] * view.size
     for parent in view.parents:
         if parent >= 0:
@@ -345,5 +383,26 @@ def _build_stats(view: ColumnarDocument) -> DocumentStats:
 def document_stats(document: XMLDocument) -> DocumentStats:
     """The (memoised) :class:`DocumentStats` of *document*."""
     return _cached_per_document(
-        document, _STATS_CACHE,
-        lambda doc: _build_stats(columnar(doc)))
+        document, _STATS_CACHE, _STATS_LATEST,
+        lambda doc: stats_from_view(columnar(doc)))
+
+
+def install_document_stats(document: XMLDocument,
+                           stats: DocumentStats) -> DocumentStats:
+    """Install delta-maintained stats for *document*'s current version."""
+    return _install(document, _STATS_CACHE, _STATS_LATEST, stats)
+
+
+def invalidate_document_caches(document: XMLDocument) -> None:
+    """Explicitly drop *document*'s cached view and statistics.
+
+    The update layer calls this on its rebuild fallback instead of
+    relying solely on weakref death (or on the version-keyed lookup
+    missing) to release superseded entries.
+    """
+    ident = id(document)
+    for cache, latest in ((_COLUMNAR_CACHE, _COLUMNAR_LATEST),
+                          (_STATS_CACHE, _STATS_LATEST)):
+        version = latest.pop(ident, None)
+        if version is not None:
+            cache.pop((ident, version), None)

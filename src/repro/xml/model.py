@@ -51,6 +51,23 @@ class XMLNode:
         """Create, attach and return a new child element."""
         return self.append(XMLNode(tag, attributes, text))
 
+    def copy(self) -> "XMLNode":
+        """A detached structural deep copy (labels are not copied).
+
+        Iterative, like the traversals, so pathological depth is safe.
+        The copy's labels are ``None`` until a document indexes it —
+        exactly the state the update layer expects of an insert.
+        """
+        out = XMLNode(self.tag, self.attributes, self.text)
+        stack = [(self, out)]
+        while stack:
+            source, target = stack.pop()
+            for child in source.children:
+                clone = XMLNode(child.tag, child.attributes, child.text)
+                target.append(clone)
+                stack.append((child, clone))
+        return out
+
     @property
     def value(self) -> Value | None:
         """Typed text content (int/float revived), or None when empty."""
@@ -114,7 +131,10 @@ class XMLDocument:
 
     Construction freezes the tree: region encodings, Dewey labels and tag
     streams are computed once. Mutate the tree only through
-    :meth:`reindex`, which recomputes everything.
+    :meth:`reindex`, which recomputes everything — or through the delta
+    layer (:mod:`repro.updates.documents`), which patches the labels and
+    indexes in place and calls :meth:`bump_version` so version-keyed
+    caches pick up the patched artifacts it installs.
     """
 
     def __init__(self, root: XMLNode):
@@ -144,6 +164,17 @@ class XMLDocument:
             self._by_start.append(node)
         # Pre-order already yields document order, so streams are sorted
         # by start position by construction.
+
+    def bump_version(self) -> int:
+        """Advance :attr:`version` without recomputing anything.
+
+        For the update layer only: it patches labels and the ``_by_*``
+        indexes itself, then bumps the version so the (id, version)-keyed
+        caches in :mod:`repro.xml.columnar` accept its installed
+        artifacts and can never serve a pre-mutation entry.
+        """
+        self.version += 1
+        return self.version
 
     # -- indexes ---------------------------------------------------------
 

@@ -41,14 +41,29 @@ def axis_candidates(document: XMLDocument, anchor: XMLNode | None,
 
 
 def match_embeddings(document: XMLDocument, twig: TwigQuery, *,
-                     stats: JoinStats | None = None
+                     stats: JoinStats | None = None,
+                     root: XMLNode | None = None
                      ) -> list[dict[str, XMLNode]]:
-    """All embeddings of *twig* into *document* as name->node dicts."""
+    """All embeddings of *twig* into *document* as name->node dicts.
+
+    With *root* given, the twig root is pinned to that document node
+    (the update layer's edit-local re-enumeration); the node must still
+    satisfy the root's tag and value predicate, else no embedding exists.
+    """
     stats = ensure_stats(stats)
     out: list[dict[str, XMLNode]] = []
     order = twig.nodes()  # pre-order: parents before children
+    binding: dict[str, XMLNode] = {}
+    start = 0
+    if root is not None:
+        query_root = order[0]
+        if (root.tag != query_root.tag
+                or not query_root.matches_value(root.value)):
+            return out
+        binding[query_root.name] = root
+        start = 1
 
-    def extend(index: int, binding: dict[str, XMLNode]) -> None:
+    def extend(index: int) -> None:
         if index == len(order):
             out.append(dict(binding))
             stats.count_emitted()
@@ -61,10 +76,10 @@ def match_embeddings(document: XMLDocument, twig: TwigQuery, *,
             if not query_node.matches_value(candidate.value):
                 continue
             binding[query_node.name] = candidate
-            extend(index + 1, binding)
+            extend(index + 1)
             del binding[query_node.name]
 
-    extend(0, {})
+    extend(start)
     return out
 
 

@@ -1,0 +1,10 @@
+"""Pytest wiring for the update suites: echo the differential seed."""
+
+from __future__ import annotations
+
+from harness import UPDATE_SEED
+
+
+def pytest_report_header(config) -> str:
+    return (f"update-oracle seed: {UPDATE_SEED} "
+            f"(reproduce with REPRO_UPDATE_SEED={UPDATE_SEED})")

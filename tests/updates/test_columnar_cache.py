@@ -1,0 +1,104 @@
+"""Regression tests for the (document id, reindex version) cache keying.
+
+The columnar view and document-stats caches key on the pair, so a
+document object that is *reused* after a mutation (reindexed in place,
+or patched + version-bumped by the update layer) can never be served a
+stale entry: the lookup key itself moves with the version. Superseded
+versions must also be evicted eagerly — one live entry per document.
+"""
+
+from __future__ import annotations
+
+from repro.xml.columnar import (
+    _COLUMNAR_CACHE,
+    _STATS_CACHE,
+    ColumnarDocument,
+    columnar,
+    document_stats,
+    install_columnar,
+    install_document_stats,
+    stats_from_view,
+)
+from repro.xml.model import XMLDocument, element
+
+
+def build_document() -> XMLDocument:
+    return XMLDocument(element(
+        "a",
+        element("b", element("c", text="1")),
+        element("d", text="2"),
+    ))
+
+
+def entries_for(cache: dict, document: XMLDocument) -> list:
+    return [key for key in cache if key[0] == id(document)]
+
+
+class TestVersionKeying:
+    def test_memoised_per_version(self):
+        document = build_document()
+        view = columnar(document)
+        assert columnar(document) is view
+        assert entries_for(_COLUMNAR_CACHE, document) \
+            == [(id(document), document.version)]
+
+    def test_reused_document_never_serves_stale_view(self):
+        """The regression: mutate + reindex the same object, re-read."""
+        document = build_document()
+        stale_view = columnar(document)
+        stale_stats = document_stats(document)
+        document.root.add("e", text="3")
+        document.reindex()
+        view = columnar(document)
+        stats = document_stats(document)
+        assert view is not stale_view
+        assert stats is not stale_stats
+        assert view.size == document.size() == stale_view.size + 1
+        assert stats.tag_counts["e"] == 1
+        assert "e" not in stale_stats.tag_counts
+
+    def test_superseded_versions_are_evicted(self):
+        document = build_document()
+        for _ in range(5):
+            columnar(document)
+            document_stats(document)
+            document.reindex()
+        columnar(document)
+        document_stats(document)
+        assert entries_for(_COLUMNAR_CACHE, document) \
+            == [(id(document), document.version)]
+        assert entries_for(_STATS_CACHE, document) \
+            == [(id(document), document.version)]
+
+    def test_weakref_death_still_evicts(self):
+        document = build_document()
+        columnar(document)
+        document_stats(document)
+        ident = id(document)
+        del document
+        import gc
+
+        gc.collect()
+        assert not [key for key in _COLUMNAR_CACHE if key[0] == ident]
+        assert not [key for key in _STATS_CACHE if key[0] == ident]
+
+
+class TestInstall:
+    def test_installed_view_is_served_for_current_version(self):
+        document = build_document()
+        view = ColumnarDocument(document)
+        document.bump_version()
+        assert install_columnar(document, view) is view
+        assert columnar(document) is view
+        stats = stats_from_view(view)
+        assert install_document_stats(document, stats) is stats
+        assert document_stats(document) is stats
+
+    def test_install_replaces_prior_version_entry(self):
+        document = build_document()
+        columnar(document)
+        view = ColumnarDocument(document)
+        document.bump_version()
+        install_columnar(document, view)
+        assert entries_for(_COLUMNAR_CACHE, document) \
+            == [(id(document), document.version)]

@@ -1,0 +1,226 @@
+"""Freshness of delta-maintained statistics, dictionaries and caches.
+
+After every update batch the incrementally maintained artifacts must
+*equal* their rebuild-from-scratch counterparts:
+
+* :class:`VersionedRelation` stats vs a full
+  :func:`~repro.relational.statistics.relation_stats` rescan (and the
+  planner cache must serve the maintained object without a rescan);
+* :class:`DocumentEditor`-maintained :class:`DocumentStats` vs stats
+  computed on a cloned, freshly indexed document;
+* :class:`IncrementalInstance` dictionaries vs from-scratch engine
+  dictionaries — same domains while appended codes are live, and
+  code-for-code equality after a vacuum;
+* the planner's :class:`QueryStatistics` entry refreshing (not
+  dropping) across updates.
+"""
+
+from __future__ import annotations
+
+from repro.core.multimodel import MultiModelQuery
+from repro.data.random_instances import (
+    random_multimodel_instance,
+    random_relation,
+)
+from repro.engine.dictionary import Dictionary, DictionaryBuilder
+from repro.engine.planner import (
+    cached_relation_stats,
+    refresh_query_statistics,
+    statistics_for,
+)
+from repro.relational.statistics import relation_stats
+from repro.updates.documents import DocumentEditor
+from repro.updates.encodings import IncrementalInstance
+from repro.updates.relations import VersionedRelation
+from repro.updates.session import QuerySession
+from repro.xml.columnar import document_stats
+from harness import clone_document, clone_query, random_session_op, \
+    random_subtree, seeded_rng
+
+
+def test_relation_stats_follow_every_batch():
+    rng = seeded_rng("relation-stats")
+    relation = random_relation(rng, "R", ["a", "b", "c"], max_rows=20,
+                               value_range=5)
+    versioned = VersionedRelation(relation)
+    for step in range(40):
+        row = tuple(rng.randint(0, 5) for _ in range(3))
+        if rng.random() < 0.5:
+            versioned.insert(row)
+        else:
+            versioned.delete(row)
+        rescan = relation_stats(versioned.relation)
+        assert versioned.stats() == rescan, f"step {step}"
+        # The planner cache serves the installed (maintained) object.
+        assert cached_relation_stats(versioned.relation) \
+            is versioned.stats()
+
+
+def test_relation_stats_batch_and_noop_filtering():
+    versioned = VersionedRelation(
+        random_relation(seeded_rng("batch"), "R", ["a", "b"]))
+    present = next(iter(versioned.relation.rows), None)
+    delta = versioned.apply(
+        inserted=[(9, 9), (9, 9)] + ([present] if present else []),
+        deleted=[(123, 456)])
+    assert delta.inserted == ((9, 9),)
+    assert delta.deleted == ()
+    assert versioned.stats() == relation_stats(versioned.relation)
+
+
+def test_document_stats_follow_every_edit():
+    rng = seeded_rng("document-stats")
+    for threshold in (10.0, 0.0):  # patch path and rebuild path
+        instance = random_multimodel_instance(rng.randrange(10_000))
+        document = instance.twigs[0].document
+        editor = DocumentEditor(document, churn_threshold=threshold)
+        for step in range(12):
+            nodes = document.nodes()
+            roll = rng.random()
+            if roll < 0.4:
+                editor.insert_subtree(rng.choice(nodes),
+                                      random_subtree(rng, ["x", "y", "z"]))
+            elif roll < 0.7 and len(nodes) > 1:
+                editor.delete_subtree(rng.choice(nodes[1:]))
+            else:
+                editor.change_value(rng.choice(nodes),
+                                    str(rng.randint(0, 3)))
+            maintained = document_stats(document)
+            scratch = document_stats(clone_document(document))
+            assert maintained == scratch, \
+                f"threshold {threshold}, step {step}"
+
+
+def test_dictionary_codes_follow_updates():
+    rng = seeded_rng("dictionary")
+    relations = [random_relation(rng, "R", ["a", "b"], value_range=6),
+                 random_relation(rng, "S", ["b", "c"], value_range=6)]
+    instance = IncrementalInstance("Q", relations,
+                                   overflow_threshold=0.25)
+    current = {r.name: set(r.rows) for r in relations}
+
+    def scratch_dictionaries() -> dict[str, Dictionary]:
+        builder = DictionaryBuilder()
+        for name, rows in current.items():
+            schema = relations[0].schema if name == "R" \
+                else relations[1].schema
+            builder.add_rows(schema.attributes, rows)
+        return builder.build()
+
+    for step in range(30):
+        name = rng.choice(["R", "S"])
+        row = (rng.randint(0, 12), rng.randint(0, 12))  # grows the domain
+        if rng.random() < 0.6 or not current[name]:
+            current[name].add(row)
+            instance.apply(name, added=[row])
+        else:
+            victim = rng.choice(sorted(current[name]))
+            current[name].discard(victim)
+            instance.apply(name, removed=[victim])
+        for attribute, scratch in scratch_dictionaries().items():
+            maintained = instance.dictionaries[attribute]
+            # Maintained domains cover the live values (supersets only
+            # through not-yet-vacuumed deletions)...
+            for value in scratch.values:
+                assert maintained.encode(value) is not None
+            # ...and every maintained code decodes to its own value.
+            for value, code in maintained.codes.items():
+                assert maintained.decode(code) == value
+
+    # After a vacuum, codes equal a from-scratch build, code for code.
+    instance.vacuum()
+    for attribute, scratch in scratch_dictionaries().items():
+        maintained = instance.dictionaries[attribute]
+        assert list(maintained.values) == list(scratch.values), attribute
+        assert maintained.codes == scratch.codes, attribute
+        assert maintained.overflow == 0
+
+
+def test_trie_contents_track_rows_through_compaction():
+    rng = seeded_rng("tries")
+    relation = random_relation(rng, "R", ["a", "b"], value_range=4)
+    instance = IncrementalInstance("Q", [relation],
+                                   overflow_threshold=0.1)
+    rows = set(relation.rows)
+    for step in range(25):
+        row = (rng.randint(0, 30), rng.randint(0, 30))
+        if rng.random() < 0.7 or not rows:
+            rows.add(row)
+            instance.apply("R", added=[row])
+        else:
+            victim = rng.choice(sorted(rows))
+            rows.discard(victim)
+            instance.apply("R", removed=[victim])
+        trie, _positions = instance.tries["R"]
+        decoded = {
+            tuple(instance.dictionaries[a].decode(code)
+                  for a, code in zip(trie.order, encoded_row))
+            for encoded_row in trie.tuples()}
+        assert decoded == rows, f"step {step}"
+        assert trie.size == len(rows)
+    assert instance.compactions > 0  # threshold 0.1 must have tripped
+
+
+def test_trie_delta_rejects_wrong_arity():
+    """Regression: a short row must not descend a shared prefix and
+    silently corrupt the size counter."""
+    from repro.engine.encoded import EncodedTrie
+    from repro.errors import EngineError
+    import pytest
+
+    trie = EncodedTrie("R", ("a", "b"), [(1, 2), (1, 3)])
+    with pytest.raises(EngineError):
+        trie.remove((1,))
+    with pytest.raises(EngineError):
+        trie.insert((1, 2, 3))
+    assert trie.size == 2
+    assert list(trie.tuples()) == [(1, 2), (1, 3)]
+
+
+def test_query_statistics_refresh_not_drop():
+    rng = seeded_rng("planner-refresh")
+    query = random_multimodel_instance(rng.randrange(10_000))
+    session = QuerySession(query, churn_threshold=10.0)
+    stats = statistics_for(query)
+    before = stats.domain_estimates()
+    for _ in range(4):
+        random_session_op(rng, session, tags=["x", "y", "z"])
+    # The cached entry survives updates (refresh, not drop) ...
+    assert statistics_for(query) is stats
+    # ... and re-derives the estimates from the maintained inputs,
+    # matching a from-scratch clone's estimates exactly.
+    clone = clone_query(query)  # held: the stats entry is a weakref
+    fresh = statistics_for(clone)
+    assert stats.domain_estimates() == fresh.domain_estimates()
+    assert stats.path_cardinality_estimates() == \
+        fresh.path_cardinality_estimates()
+    del before
+
+
+def test_explicit_invalidate_hooks():
+    from repro.engine.planner import (
+        _RELATION_STATS_CACHE,
+        invalidate_relation_stats,
+    )
+    from repro.xml.columnar import (
+        _COLUMNAR_CACHE,
+        _STATS_CACHE,
+        columnar,
+        invalidate_document_caches,
+    )
+
+    rng = seeded_rng("invalidate")
+    relation = random_relation(rng, "R", ["a"])
+    cached_relation_stats(relation)
+    assert id(relation) in _RELATION_STATS_CACHE
+    invalidate_relation_stats(relation)
+    assert id(relation) not in _RELATION_STATS_CACHE
+
+    document = random_multimodel_instance(0).twigs[0].document
+    columnar(document)
+    document_stats(document)
+    assert any(key[0] == id(document) for key in _COLUMNAR_CACHE)
+    assert any(key[0] == id(document) for key in _STATS_CACHE)
+    invalidate_document_caches(document)
+    assert not any(key[0] == id(document) for key in _COLUMNAR_CACHE)
+    assert not any(key[0] == id(document) for key in _STATS_CACHE)

@@ -1,0 +1,160 @@
+"""The differential update oracle.
+
+Random interleaved update/query sequences over random multi-model
+instances and XMark documents; after every update, the delta-maintained
+state must be byte-identical to a rebuild-from-scratch oracle:
+
+* ``QuerySession.answer()`` (the incrementally maintained result) and
+  ``QuerySession.run(kernel)`` (the relational kernels over the
+  delta-maintained dictionaries/tries) against the naive join of a
+  *cloned* instance — fresh relations, fresh documents, no shared
+  caches;
+* every registered :class:`JoinAlgorithm` evaluating the *live* query
+  (through the installed delta-maintained caches) against the same
+  oracle — ``xjoin``/``baseline`` on the multi-model query directly,
+  the relational kernels through the session's relationalized view;
+* every registered :class:`TwigAlgorithm` matching on the *live*
+  (patched) document against the naive matcher on a cloned document.
+
+All three churn regimes are exercised: pure patching, mixed, and the
+forced rebuild fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.data.random_instances import random_multimodel_instance
+from repro.engine.interface import available_algorithms
+from repro.engine.planner import run_query
+from repro.updates.session import QuerySession
+from repro.xml.interface import available_twig_algorithms, \
+    get_twig_algorithm
+from repro.xml.navigation import match_relation
+from repro.xml.twig_parser import parse_twig
+from repro.xml.xmark import xmark_document
+
+from harness import (
+    UPDATE_SEED,
+    clone_document,
+    clone_query,
+    random_session_op,
+    seeded_rng,
+)
+
+RELATIONAL_KERNELS = ("generic_join", "leapfrog")
+
+
+def assert_session_matches_oracle(session: QuerySession, context: str):
+    """The full differential check after one update."""
+    query = session.query
+    rebuilt = clone_query(query)
+    oracle = rebuilt.naive_join()
+    note = f"{context} (REPRO_UPDATE_SEED={UPDATE_SEED})"
+
+    maintained = session.answer()
+    assert maintained.sorted_rows() == oracle.sorted_rows(), \
+        f"maintained answer diverged at {note}"
+
+    for name in available_algorithms():
+        if name in RELATIONAL_KERNELS:
+            if query.twigs:
+                # Kernels reject twig-bearing instances by design; they
+                # cover the relationalized maintained view instead.
+                result = session.run(name)
+            else:
+                result = run_query(query, algorithm=name)
+        else:
+            result = run_query(query, algorithm=name)
+        assert result.sorted_rows() == oracle.sorted_rows(), \
+            f"join algorithm {name!r} diverged at {note}"
+
+    for binding in query.twigs:
+        reference = match_relation(clone_document(binding.document),
+                                   binding.twig)
+        for name in available_twig_algorithms():
+            algorithm = get_twig_algorithm(name)
+            if not algorithm.supports(binding.twig):
+                continue
+            live = algorithm.run(binding.document, binding.twig)
+            assert live.sorted_rows() == reference.sorted_rows(), \
+                f"twig algorithm {name!r} diverged at {note}"
+
+
+@pytest.mark.parametrize("churn_threshold", [10.0, 0.3, 0.0],
+                         ids=["patch", "mixed", "rebuild"])
+def test_random_instances_under_interleaved_updates(churn_threshold):
+    rng = seeded_rng(f"oracle-{churn_threshold}")
+    for trial in range(6):
+        query = random_multimodel_instance(rng.randrange(10_000))
+        session = QuerySession(query, churn_threshold=churn_threshold)
+        for step in range(6):
+            op = random_session_op(rng, session, tags=["x", "y", "z"])
+            assert_session_matches_oracle(
+                session,
+                f"churn={churn_threshold} trial={trial} "
+                f"step={step} op={op}")
+
+
+def test_relation_only_session_under_updates():
+    rng = seeded_rng("relations-only")
+    instance = random_multimodel_instance(rng.randrange(10_000))
+    query = MultiModelQuery(instance.relations, name="R-only")
+    session = QuerySession(query)
+    for step in range(12):
+        op = random_session_op(rng, session, tags=[])
+        assert_session_matches_oracle(session, f"step={step} op={op}")
+
+
+def test_xmark_document_under_updates():
+    rng = seeded_rng("xmark")
+    document = xmark_document(0.12, rng=rng)
+    twig = parse_twig("p=person(/nm=name, //i=interest)")
+    query = MultiModelQuery([], [TwigBinding(twig, document)], name="X")
+    session = QuerySession(query, churn_threshold=0.5)
+    people = document.nodes("people")[0]
+    inserted = []
+    for step in range(4):
+        person = random_subtree_person(rng, step)
+        session.insert_subtree("X", people, person,
+                               index=rng.randint(0, len(people.children)))
+        inserted.append(person)
+        assert_session_matches_oracle(session, f"xmark insert {step}")
+    interests = document.nodes("interest")
+    session.change_value("X", rng.choice(interests), "retuned")
+    assert_session_matches_oracle(session, "xmark value change")
+    for step, person in enumerate(inserted):
+        session.delete_subtree("X", person)
+        assert_session_matches_oracle(session, f"xmark delete {step}")
+
+
+def random_subtree_person(rng, step: int):
+    from repro.xml.model import XMLNode
+
+    person = XMLNode("person", attributes={"id": f"oracle{step}"})
+    person.add("name", text=f"oracle-person-{step}")
+    for i in range(rng.randint(1, 2)):
+        person.add("interest", text=f"category{rng.randint(0, 4)}")
+    return person
+
+
+def test_two_twigs_sharing_one_document():
+    """One edit must refresh every twig bound to the same tree."""
+    rng = seeded_rng("shared-doc")
+    instance = random_multimodel_instance(rng.randrange(10_000))
+    binding = instance.twigs[0]
+    from repro.data.random_instances import random_twig
+
+    from repro.xml.twig import TwigQuery
+
+    second = TwigQuery(random_twig(rng, ["x", "y", "z"], prefix="u").root,
+                       name="U")
+    query = MultiModelQuery(
+        instance.relations,
+        [binding, TwigBinding(second, binding.document)],
+        name="shared")
+    session = QuerySession(query, churn_threshold=10.0)
+    for step in range(6):
+        op = random_session_op(rng, session, tags=["x", "y", "z"])
+        assert_session_matches_oracle(session, f"shared step={step} op={op}")
