@@ -1,0 +1,65 @@
+"""Partition-parallel executor vs serial execution.
+
+The acceptance gate of the parallel subsystem: at 4 workers the
+morsel-driven executor must reach a >= 2x speedup on the dense triangle
+join (n >= 600) and the XMark factor-4 multi-model join, and every
+parallel answer must be byte-identical to the serial one.
+
+Parity is asserted unconditionally. The speedup assertion is skipped on
+machines with fewer cores than workers — a 4-worker pool cannot beat
+serial on 1 core, whatever the implementation — but the measured
+numbers are always printed and persisted via ``report_table``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report_table
+
+from repro.parallel.bench import (
+    SPEEDUP_TARGET,
+    ScenarioResult,
+    available_cores,
+    triangle_scenario,
+    xmark_scenario,
+)
+
+WORKERS = 4
+
+
+def _report(result: ScenarioResult) -> None:
+    rows = [[timing.label, f"{timing.serial_ms:.1f}ms",
+             f"{timing.parallel_ms:.1f}ms", f"{timing.speedup:.2f}x",
+             f">={SPEEDUP_TARGET:g}x" if timing.gated else "(reported)"]
+            for timing in result.timings]
+    report_table(
+        f"Parallel: {result.title} [{available_cores()} cores]",
+        ["workload", "serial", f"parallel x{result.workers}",
+         "speedup", "target"], rows)
+
+
+def _assert_scenario(result: ScenarioResult) -> None:
+    assert result.consistent, \
+        f"{result.title}: parallel answer diverged from serial"
+    if not result.cores_sufficient:
+        pytest.skip(
+            f"{available_cores()} core(s) < {result.workers} workers: "
+            "speedup target not physically reachable; parity verified")
+    for timing in result.timings:
+        assert timing.meets_target, (
+            f"{result.title}: {timing.label} reached only "
+            f"{timing.speedup:.2f}x (target {SPEEDUP_TARGET:g}x)")
+
+
+def test_triangle_parallel_speedup():
+    """Dense triangle (n=8000 >= 600): >= 2x at 4 workers, exact parity."""
+    result = triangle_scenario(8000, workers=WORKERS)
+    _report(result)
+    _assert_scenario(result)
+
+
+def test_xmark_parallel_speedup():
+    """XMark factor 4 multi-model join: >= 2x at 4 workers, exact parity."""
+    result = xmark_scenario(4.0, workers=WORKERS)
+    _report(result)
+    _assert_scenario(result)

@@ -8,7 +8,9 @@ Commands:
 * ``bench [n]``   — race the engine's algorithms on the standard scenarios
   (``--suite twig`` races the registered twig matchers on an XMark
   document; ``--suite updates`` races delta-apply against
-  rebuild-from-scratch for single-tuple / single-subtree changes)
+  rebuild-from-scratch for single-tuple / single-subtree changes;
+  ``--suite parallel`` races the partition-parallel executor against
+  serial execution)
 * ``selftest`` — a quick cross-algorithm consistency check
 
 Options:
@@ -18,8 +20,12 @@ Options:
   instead of the planner's stats-driven choice, for A/B runs on the
   multi-model scenarios. Applies to ``figure3``, ``bench`` and
   ``selftest``.
-* ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig`` or
-  ``updates``.
+* ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig``,
+  ``updates`` or ``parallel``.
+* ``--workers N`` — worker processes for partition-parallel execution
+  (default 0 = serial). ``bench --suite parallel`` races serial against
+  this pool size; ``selftest`` additionally checks parallel/serial
+  parity for every registered algorithm.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ from repro.data.synthetic import (
     example34_instance,
     figure2_twig,
 )
-from repro.errors import TwigError
+from repro.errors import EngineError, TwigError
 from repro.instrumentation import JoinStats
 
 
@@ -209,9 +215,49 @@ def cmd_bench_updates(n: int = 300) -> int:
     return 1 if failures else 0
 
 
-def cmd_selftest(twig_algorithm: str | None = None) -> int:
+def cmd_bench_parallel(n: int = 2000, workers: int = 2) -> int:
+    """Race the partition-parallel executor against serial execution
+    (shared with ``benchmarks/bench_parallel.py`` through
+    :mod:`repro.parallel.bench`). Parity failures are fatal; speedups
+    are reported against the target but only enforced by the benchmark
+    suite (which knows the machine's core budget)."""
+    from repro.parallel.bench import (
+        SPEEDUP_TARGET,
+        available_cores,
+        triangle_scenario,
+        xmark_scenario,
+    )
+
+    failures = 0
+    scenarios = (triangle_scenario(max(n, 600), workers=workers),
+                 xmark_scenario(4.0, workers=workers,
+                                fanout=max(4, min(n // 100, 40))))
+    print(f"parallel suite: {workers} workers on "
+          f"{available_cores()} core(s); target >= {SPEEDUP_TARGET:g}x "
+          "(enforced by benchmarks/bench_parallel.py when cores allow)")
+    for result in scenarios:
+        print(f"  {result.title}:")
+        for timing in result.timings:
+            gate = "" if timing.gated else "  (reported only)"
+            print(f"    {timing.label:<24} serial {timing.serial_ms:8.1f}ms"
+                  f"   parallel {timing.parallel_ms:8.1f}ms"
+                  f"   speedup {timing.speedup:5.2f}x{gate}")
+        if not result.consistent:
+            print(f"error: {result.title}: parallel answer diverged "
+                  "from serial", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_selftest(twig_algorithm: str | None = None,
+                 workers: int = 0) -> int:
     from repro.data.random_instances import random_multimodel_instance
 
+    parallel = None
+    if workers > 1:
+        from repro.parallel.executor import ParallelExecutor
+
+        parallel = ParallelExecutor(workers)
     failures = 0
     for seed in range(20):
         query = random_multimodel_instance(seed)
@@ -220,8 +266,12 @@ def cmd_selftest(twig_algorithm: str | None = None) -> int:
         if xjoin(query) != naive or baseline != naive:
             print(f"MISMATCH at seed {seed}")
             failures += 1
+        elif parallel is not None and parallel.run_query(query) != naive:
+            print(f"PARALLEL MISMATCH at seed {seed}")
+            failures += 1
+    suffix = f", {workers}-worker parallel parity" if parallel else ""
     print("selftest:", "FAILED" if failures else "ok",
-          f"({20 - failures}/20 instances consistent)")
+          f"({20 - failures}/20 instances consistent{suffix})")
     return 1 if failures else 0
 
 
@@ -262,8 +312,18 @@ def main(argv: list[str] | None = None) -> int:
     try:
         twig_algorithm = _extract_option(args, "--twig-algorithm")
         suite = _extract_option(args, "--suite")
+        workers_option = _extract_option(args, "--workers")
     except _BadArgument:
         return 2
+    workers = 0
+    if workers_option is not None:
+        try:
+            workers = int(workers_option)
+            if workers < 0:
+                raise ValueError("must be >= 0")
+        except ValueError as exc:
+            print(f"error: bad value for --workers: {exc}", file=sys.stderr)
+            return 2
     if twig_algorithm is not None:
         from repro.xml.interface import available_twig_algorithms
 
@@ -273,6 +333,13 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
     command = args[0] if args else "figure1"
+    if workers and not (command == "selftest"
+                        or (command == "bench" and suite == "parallel")):
+        # Never let --workers be parsed and then silently ignored: only
+        # the parallel bench suite and selftest consume it.
+        print("error: --workers applies to 'bench --suite parallel' and "
+              "'selftest' only", file=sys.stderr)
+        return 2
     try:
         if command == "figure1":
             return cmd_figure1()
@@ -282,23 +349,32 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_figure3(_int_argument(command, args, 6),
                                twig_algorithm)
         if command == "bench":
-            if suite not in (None, "engine", "twig", "updates"):
-                print(f"error: unknown bench suite {suite!r}; "
-                      "choose from ['engine', 'twig', 'updates']",
+            if suite not in (None, "engine", "twig", "updates", "parallel"):
+                print(f"error: unknown bench suite {suite!r}; choose from "
+                      "['engine', 'twig', 'updates', 'parallel']",
                       file=sys.stderr)
                 return 2
             if suite == "updates":
                 return cmd_bench_updates(_int_argument(command, args, 300))
+            if suite == "parallel":
+                if workers == 1:  # explicit serial contradicts the suite
+                    print("error: --suite parallel needs --workers >= 2 "
+                          "(default 2)", file=sys.stderr)
+                    return 2
+                return cmd_bench_parallel(
+                    _int_argument(command, args, 2000),
+                    workers or 2)
             n = _int_argument(command, args, 150)
             if suite == "twig":
                 return cmd_bench_twig(n, twig_algorithm)
             return cmd_bench(n, twig_algorithm)
         if command == "selftest":
-            return cmd_selftest(twig_algorithm)
+            return cmd_selftest(twig_algorithm, workers)
     except _BadArgument:
         return 2
-    except TwigError as exc:
-        # e.g. --twig-algorithm pathstack forced onto a branching twig.
+    except (TwigError, EngineError) as exc:
+        # e.g. --twig-algorithm pathstack forced onto a branching twig,
+        # or a --workers pool on a platform without a usable transport.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -56,6 +56,7 @@ class GenericJoinAlgorithm:
 
     def run(self, instance: EncodedInstance, *,
             stats: JoinStats | None = None) -> Relation:
+        """Evaluate the instance by hashed attribute-at-a-time descent."""
         _reject_twig_instance(self.name, instance)
         stats = ensure_stats(stats)
         order = instance.order
@@ -139,6 +140,7 @@ class LeapfrogTriejoinAlgorithm:
 
     def run(self, instance: EncodedInstance, *,
             stats: JoinStats | None = None) -> Relation:
+        """Evaluate the instance by leapfrogging sorted trie iterators."""
         _reject_twig_instance(self.name, instance)
         stats = ensure_stats(stats)
         order = instance.order
@@ -220,6 +222,8 @@ class XJoinAlgorithm:
 
     def run(self, instance: EncodedInstance, *,
             stats: JoinStats | None = None) -> Relation:
+        """Evaluate the combined relational+twig instance (Algorithm 1),
+        projected onto the query attributes with surrogates erased."""
         stats = ensure_stats(stats)
         query = instance.query
         if query is None:
@@ -390,6 +394,8 @@ class BaselineJoinAlgorithm:
 
     def run(self, instance: EncodedInstance, *,
             stats: JoinStats | None = None) -> Relation:
+        """Evaluate the source query with the traditional dual-engine
+        plan (binary joins + TwigStack, joined at the end)."""
         from repro.core.baseline import baseline_join
         from repro.core.multimodel import MultiModelQuery
 

@@ -92,21 +92,25 @@ class DictionaryBuilder:
         self._domains: dict[str, set[Value]] = {}
 
     def add_values(self, attribute: str, values: Iterable[Value]) -> None:
+        """Widen one attribute's domain with *values*."""
         self._domains.setdefault(attribute, set()).update(values)
 
     def add_relation(self, relation: Relation) -> None:
+        """Widen every schema attribute's domain with the relation's rows."""
         for position, attribute in enumerate(relation.schema):
             domain = self._domains.setdefault(attribute, set())
             domain.update(map(itemgetter(position), relation.rows))
 
     def add_rows(self, attributes: Sequence[str],
                  rows: Iterable[Sequence[Value]]) -> None:
+        """Widen the named attributes' domains with already-gathered rows."""
         domains = [self._domains.setdefault(a, set()) for a in attributes]
         for row in rows:
             for domain, value in zip(domains, row):
                 domain.add(value)
 
     def build(self) -> dict[str, Dictionary]:
+        """Freeze the gathered domains into per-attribute dictionaries."""
         return {attribute: Dictionary(attribute, domain)
                 for attribute, domain in self._domains.items()}
 

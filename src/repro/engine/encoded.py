@@ -99,6 +99,7 @@ class EncodedTrie:
 
     @property
     def depth(self) -> int:
+        """The trie's level count (= the arity of its rows)."""
         return len(self.order)
 
     # -- delta maintenance (repro.updates) ---------------------------------
@@ -190,6 +191,7 @@ class EncodedTrieIterator:
         self._stack: list[tuple[EncodedTrieNode, int]] = []
 
     def open(self) -> None:
+        """Descend to the first key of the current key's child level."""
         node = self._node
         self._stack.append((node, self._pos))
         if self._pos >= 0:
@@ -197,18 +199,23 @@ class EncodedTrieIterator:
         self._pos = 0
 
     def up(self) -> None:
+        """Return to the parent level (the position before ``open``)."""
         self._node, self._pos = self._stack.pop()
 
     def at_end(self) -> bool:
+        """Is the cursor past the current level's last key?"""
         return self._pos >= len(self._node.keys)
 
     def key(self) -> int:
+        """The code at the cursor (undefined when :meth:`at_end`)."""
         return self._node.keys[self._pos]
 
     def next(self) -> None:
+        """Advance the cursor by one key."""
         self._pos += 1
 
     def seek(self, code: int) -> None:
+        """Advance the cursor to the first key >= *code* (never back)."""
         index = bisect_left(self._node.keys, code)
         if index > self._pos:
             self._pos = index
@@ -402,10 +409,12 @@ class EncodedInstance:
                    for trie in self.tries)
 
     def decode_row(self, codes: Sequence[int]) -> tuple[Value, ...]:
+        """Decode one code row over the global order into values."""
         return tuple(values[code]
                      for values, code in zip(self._level_values, codes))
 
     def decode_value(self, level: int, code: int) -> Value:
+        """Decode one code through the named level's dictionary."""
         return self._level_values[level][code]
 
     def result_relation(self, code_rows: Sequence[Sequence[int]],

@@ -112,6 +112,7 @@ class QueryStatistics:
 
     @property
     def query(self) -> "MultiModelQuery":
+        """The live query behind these statistics (PlanError if dropped)."""
         query = self._query_ref()
         if query is None:
             raise PlanError(
@@ -119,6 +120,7 @@ class QueryStatistics:
         return query
 
     def relation_stats(self, relation: Relation) -> RelationStats:
+        """One input relation's cached column statistics."""
         return cached_relation_stats(relation)
 
     def document_stats(self, document) -> "DocumentStats":
@@ -128,6 +130,7 @@ class QueryStatistics:
         return document_stats(document)
 
     def domain_estimates(self) -> dict[str, int]:
+        """Smallest per-attribute distinct-value count any input offers."""
         from repro.xml.columnar import columnar
 
         if self._estimates is not None:
@@ -152,6 +155,7 @@ class QueryStatistics:
         return estimates
 
     def domain_estimate(self, attribute: str) -> int:
+        """One attribute's candidate-domain estimate (0 if unbound)."""
         return self.domain_estimates().get(attribute, 0)
 
     def path_cardinality_estimates(self) -> dict[str, int]:
@@ -301,6 +305,10 @@ class QueryPlan:
     twig_algorithms: tuple[tuple[str, str], ...] = ()
     #: (path relation name, estimated cardinality) per decomposed path.
     path_cardinalities: tuple[tuple[str, int], ...] = ()
+    #: Morsel count for partition-parallel execution (1 = serial).
+    partitions: int = 1
+    #: The attribute whose domain the partitions slice (None = serial).
+    partition_axis: str | None = None
 
     def twig_algorithm(self, twig_name: str) -> str | None:
         """The planned matcher for one twig input (None if unknown)."""
@@ -312,8 +320,11 @@ class QueryPlan:
     def __repr__(self) -> str:
         twigs = (f", twigs={dict(self.twig_algorithms)!r}"
                  if self.twig_algorithms else "")
+        parallel = (f", partitions={self.partitions} "
+                    f"on {self.partition_axis!r}"
+                    if self.partitions > 1 else "")
         return (f"QueryPlan({self.algorithm!r}, policy={self.policy!r}, "
-                f"order={list(self.order)!r}{twigs})")
+                f"order={list(self.order)!r}{twigs}{parallel})")
 
 
 def choose_order_policy(query: "MultiModelQuery") -> str:
@@ -359,6 +370,29 @@ def choose_twig_algorithm(document: "XMLDocument",
     return "twigstack"
 
 
+def choose_partitions(query: "MultiModelQuery", order: tuple[str, ...],
+                      workers: int, *,
+                      morsel_factor: int = 4) -> tuple[int, str | None]:
+    """Pick (morsel count, partition axis) from cached statistics.
+
+    The axis is the resolved order's first attribute — the variable the
+    parallel executor slices at the top of every trie descent. The
+    morsel count follows the work-stealing sizing rule (``morsel_factor``
+    morsels per worker, capped by the axis' estimated domain): enough
+    pieces that the queue can rebalance skew, never more pieces than the
+    domain has distinct values. One partition means "run serially".
+    """
+    if workers <= 1 or not order:
+        return 1, None
+    from repro.parallel.partition import choose_morsel_count
+
+    axis = order[0]
+    domain = statistics_for(query).domain_estimate(axis)
+    count = choose_morsel_count(workers, domain,
+                                morsel_factor=morsel_factor)
+    return (count, axis) if count > 1 else (1, None)
+
+
 def choose_algorithm(query: "MultiModelQuery") -> str:
     """Pick an algorithm: XJoin whenever a twig participates (it is the
     only worst-case optimal operator over the combined hypergraph);
@@ -372,12 +406,16 @@ def choose_algorithm(query: "MultiModelQuery") -> str:
 def plan_query(query: "MultiModelQuery", *,
                order: "str | tuple[str, ...] | list[str] | None" = None,
                algorithm: str | None = None,
-               twig_algorithm: str | None = None) -> QueryPlan:
+               twig_algorithm: str | None = None,
+               workers: int | None = None,
+               morsel_factor: int = 4) -> QueryPlan:
     """Resolve order, join operator and twig matchers (explicit args win).
 
     ``twig_algorithm`` forces one matcher for every twig input (the
     CLI's ``--twig-algorithm`` A/B override); by default each twig gets
-    the :func:`choose_twig_algorithm` pick for its document.
+    the :func:`choose_twig_algorithm` pick for its document. With
+    ``workers`` the plan also carries a partition count and axis for the
+    parallel executor (see :func:`choose_partitions`).
     """
     if algorithm is None:
         algorithm = choose_algorithm(query)
@@ -416,17 +454,34 @@ def plan_query(query: "MultiModelQuery", *,
     path_cardinalities = tuple(
         sorted(statistics_for(query).path_cardinality_estimates().items())
     ) if query.twigs else ()
+    partitions, partition_axis = choose_partitions(
+        query, resolved, workers or 1, morsel_factor=morsel_factor)
     return QueryPlan(order=resolved, algorithm=algorithm, policy=policy,
                      twig_algorithms=tuple(twig_algorithms),
-                     path_cardinalities=path_cardinalities)
+                     path_cardinalities=path_cardinalities,
+                     partitions=partitions, partition_axis=partition_axis)
 
 
 def run_query(query: "MultiModelQuery", *,
               order: "str | tuple[str, ...] | list[str] | None" = None,
               algorithm: str | None = None,
-              stats: JoinStats | None = None) -> Relation:
-    """Plan and evaluate *query* through the encoded engine."""
+              stats: JoinStats | None = None,
+              workers: int = 0) -> Relation:
+    """Plan and evaluate *query* through the encoded engine.
+
+    With ``workers > 1`` execution is delegated to the partition-parallel
+    executor (:mod:`repro.parallel.executor`): the instance is still
+    encoded once, then sliced on the plan's partition axis and evaluated
+    by a morsel-driven worker pool. Results are identical to the serial
+    path for every registered algorithm.
+    """
     stats = ensure_stats(stats)
+    if workers > 1:
+        # Imported lazily: repro.parallel sits above the planner layer.
+        from repro.parallel.executor import parallel_run_query
+
+        return parallel_run_query(query, workers=workers, order=order,
+                                  algorithm=algorithm, stats=stats)
     plan = plan_query(query, order=order, algorithm=algorithm)
     if plan.algorithm == "baseline":
         # The baseline evaluates from the source inputs; building the

@@ -90,6 +90,32 @@ class JoinStats:
         finally:
             self.record_phase(label, time.perf_counter() - start)
 
+    # -- merging (parallel workers) ----------------------------------------
+
+    def absorb(self, summary: "dict[str, float]", *,
+               stage_label: str | None = None) -> None:
+        """Fold one worker's counter ``summary()`` into this object.
+
+        Used by the parallel executor: effort counters add up across
+        morsels, ``max_intermediate`` takes the per-morsel peak (the
+        largest number of partial tuples alive in any one worker), and
+        an optional stage records the morsel's emitted count so stage
+        listings show the partition shape.
+        """
+        self.comparisons += int(summary.get("comparisons", 0))
+        self.seeks += int(summary.get("seeks", 0))
+        self.emitted += int(summary.get("emitted", 0))
+        self.filtered += int(summary.get("filtered", 0))
+        self.total_intermediate += int(summary.get("total_intermediate", 0))
+        peak = int(summary.get("max_intermediate", 0))
+        if peak > self.max_intermediate:
+            self.max_intermediate = peak
+        if stage_label is not None:
+            # Not record_stage: total_intermediate above already counted
+            # the worker's stages; this entry only names the morsel.
+            self.stages.append(
+                StageRecord(stage_label, int(summary.get("emitted", 0))))
+
     # -- reporting ---------------------------------------------------------
 
     def stage_sizes(self) -> list[int]:
@@ -137,6 +163,10 @@ class _NullStats(JoinStats):
         pass
 
     def record_phase(self, label: str, seconds: float) -> None:  # noqa: D102
+        pass
+
+    def absorb(self, summary: "dict[str, float]", *,
+               stage_label: str | None = None) -> None:  # noqa: D102
         pass
 
 

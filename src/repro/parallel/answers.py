@@ -1,0 +1,110 @@
+"""Partitioned maintained answers: delta routing for query sessions.
+
+A :class:`PartitionedAnswer` holds a materialized query answer as *P*
+disjoint row buckets, owned by a stable hash of the row's **partition
+attribute** (the query's first attribute — the same axis the parallel
+executor slices). :class:`~repro.updates.session.QuerySession` routes
+each delta to the buckets that can own affected rows:
+
+* a delete of input tuple *t* from an input that **binds** the partition
+  attribute touches exactly one bucket — the owner of *t*'s value; an
+  input that does not bind it broadcasts to all buckets;
+* an insert contributes join rows that each carry their own partition
+  value, so every new row is appended to its owner.
+
+Ownership uses Python's ``hash``: the one function guaranteed
+consistent with the value equality the row sets themselves use (e.g.
+``1 == 1.0 == True`` share a hash, so equal-but-differently-typed
+partition values always route to the same bucket). Buckets are
+process-local state, so hash randomization across runs is irrelevant —
+routing only ever has to agree with itself and with ``set`` membership
+within one session.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+
+def owner_of(value: Any, buckets: int) -> int:
+    """The bucket index owning one partition-attribute value.
+
+    Consistent with ``==`` (hash-based), which
+    :meth:`PartitionedAnswer.discard_restricting` relies on: a dead
+    tuple's value must name the same bucket as the equal value stored
+    in the result rows, whatever their concrete types.
+    """
+    if buckets <= 1:
+        return 0
+    return hash(value) % buckets
+
+
+class PartitionedAnswer:
+    """A set of result rows, bucketed by the first attribute's value."""
+
+    __slots__ = ("buckets", "_parts")
+
+    def __init__(self, rows: Iterable[tuple] = (), *, partitions: int = 1):
+        self._parts = max(1, int(partitions))
+        self.buckets: list[set[tuple]] = [set()
+                                          for _ in range(self._parts)]
+        for row in rows:
+            self.add(row)
+
+    @property
+    def partitions(self) -> int:
+        """The number of buckets rows are routed across."""
+        return self._parts
+
+    def owner(self, value: Any) -> int:
+        """The bucket index owning rows whose first attribute is *value*."""
+        return owner_of(value, self._parts)
+
+    def add(self, row: tuple) -> None:
+        """Insert one result row into its owner bucket."""
+        bucket = self.buckets[self.owner(row[0]) if row else 0]
+        bucket.add(row)
+
+    def update(self, rows: Iterable[tuple]) -> None:
+        """Insert many result rows, each routed to its owner."""
+        for row in rows:
+            self.add(row)
+
+    def discard_restricting(self, positions: Sequence[int],
+                            dead: "set[tuple]", *,
+                            owner_values: "Iterable[Any] | None" = None
+                            ) -> None:
+        """Drop rows whose projection onto *positions* is in *dead*.
+
+        With *owner_values* (the dead tuples' partition-attribute
+        values, known when the updated input binds the partition
+        attribute) only the owning buckets are scanned — the routed
+        fast path; without it every bucket is scanned.
+        """
+        if owner_values is None:
+            indexes: Iterable[int] = range(self._parts)
+        else:
+            indexes = {self.owner(value) for value in owner_values}
+        for index in indexes:
+            bucket = self.buckets[index]
+            doomed = [row for row in bucket
+                      if tuple(row[p] for p in positions) in dead]
+            bucket.difference_update(doomed)
+
+    def rows(self) -> Iterator[tuple]:
+        """All rows, bucket by bucket (ascending bucket index)."""
+        for bucket in self.buckets:
+            yield from bucket
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets)
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, tuple):
+            return False
+        return row in self.buckets[self.owner(row[0]) if row else 0]
+
+    def __repr__(self) -> str:
+        sizes = [len(bucket) for bucket in self.buckets]
+        return f"PartitionedAnswer({sum(sizes)} rows over {sizes})"

@@ -1,0 +1,308 @@
+"""The partition-parallel executor: every algorithm, across workers.
+
+:class:`ParallelExecutor` runs any registered
+:class:`~repro.engine.interface.JoinAlgorithm` over an
+:class:`~repro.engine.encoded.EncodedInstance` and any registered
+:class:`~repro.xml.interface.TwigAlgorithm` over a document, split into
+the slice kinds of :mod:`repro.parallel.partition` and scheduled by the
+work-stealing queue of :mod:`repro.parallel.morsels`:
+
+* encoded joins (``generic_join``, ``leapfrog``, ``xjoin``) — top-level
+  code ranges; slice results concatenate, ordered by slice index (=
+  ascending code range), into exactly the serial row set;
+* the ``baseline`` foil — decoded value segments of the first
+  relational attribute;
+* twig matchers — root-posting ranges, with each worker's answer
+  filtered to the embeddings rooted in its own slice.
+
+``workers <= 1`` everywhere degrades to the serial algorithm call, so
+callers can thread a ``workers`` knob through unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import EngineError
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.parallel.morsels import fork_available, run_morsels
+from repro.parallel.partition import (
+    DEFAULT_MORSEL_FACTOR,
+    choose_morsel_count,
+    code_slices,
+    posting_slices,
+    top_level_weights,
+    value_segments,
+)
+from repro.parallel.slicing import baseline_partition_attribute
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, sort_key
+
+if TYPE_CHECKING:
+    from repro.core.multimodel import MultiModelQuery
+    from repro.engine.encoded import EncodedInstance
+    from repro.xml.model import XMLDocument
+    from repro.xml.twig import TwigQuery
+
+
+def available_transports() -> list[str]:
+    """Transports usable on this platform, preferred first."""
+    out = ["fork"] if fork_available() else []
+    return out + ["pickle", "serial"]
+
+
+def default_transport(workers: int) -> str:
+    """The transport a fresh executor picks for *workers* processes."""
+    if workers <= 1:
+        return "serial"
+    return "fork" if fork_available() else "pickle"
+
+
+def _shipping_instance(instance: "EncodedInstance",
+                       algorithm: str) -> "EncodedInstance":
+    """A shallow clone of *instance* stripped for per-worker shipping."""
+    from repro.engine.encoded import EncodedInstance
+
+    clone = EncodedInstance.__new__(EncodedInstance)
+    for slot in EncodedInstance.__slots__:
+        setattr(clone, slot, getattr(instance, slot))
+    clone.relations = []
+    clone.dictionaries = {}
+    if algorithm != "xjoin":
+        clone.query = None
+        clone.twig_filters = None
+    return clone
+
+
+class ParallelExecutor:
+    """A reusable configuration for partition-parallel runs.
+
+    ``workers`` is the pool size (0/1 = serial), ``morsel_factor`` the
+    morsels cut per worker (more absorbs skew, fewer lowers overhead)
+    and ``transport`` one of ``"fork"`` / ``"pickle"`` / ``"serial"``
+    (default: the platform's best, see :func:`default_transport`).
+    """
+
+    def __init__(self, workers: int, *,
+                 morsel_factor: int = DEFAULT_MORSEL_FACTOR,
+                 transport: str | None = None):
+        self.workers = max(0, int(workers))
+        self.morsel_factor = morsel_factor
+        self.transport = transport or default_transport(self.workers)
+
+    # -- encoded joins -----------------------------------------------------
+
+    def run_join(self, instance: "EncodedInstance",
+                 algorithm: str = "generic_join", *,
+                 stats: JoinStats | None = None,
+                 morsels: int | None = None) -> Relation:
+        """Run a registered join algorithm over *instance* in parallel.
+
+        Result equality with the serial ``get_algorithm(name).run`` is
+        exact for every registered algorithm; with ``workers <= 1`` the
+        serial call *is* what runs.
+        """
+        from repro.engine.interface import get_algorithm
+
+        stats = ensure_stats(stats)
+        if algorithm == "baseline":
+            return self._run_baseline_instance(instance, stats=stats)
+        # Degenerate runs (serial executor, planner said 1 partition)
+        # short-circuit before any partitioning work — in particular
+        # before the O(rows) weight walk over the level-0 tries.
+        if self.workers <= 1 or (morsels is not None and morsels <= 1):
+            return get_algorithm(algorithm).run(instance, stats=stats)
+        weights = top_level_weights(instance)
+        count = morsels if morsels is not None else choose_morsel_count(
+            self.workers, len(weights), morsel_factor=self.morsel_factor)
+        if count <= 1 or len(weights) <= 1:
+            return get_algorithm(algorithm).run(instance, stats=stats)
+        transport = self.transport
+        has_twigs = instance.query is not None and bool(instance.query.twigs)
+        if transport == "pickle" and has_twigs:
+            raise EngineError(
+                "the 'pickle' transport serializes the encoded instance and "
+                "cannot carry twig-bearing instances; use the 'fork' "
+                "transport (or workers=1)")
+        slices = code_slices(instance, count, weights=weights)
+
+        payloads = [(piece.lo, piece.hi) for piece in slices]
+        if transport == "pickle":
+            # The job state is serialized once per worker (not per
+            # morsel); strip what workers never read — source relations,
+            # the value->code maps (decode runs on ``_level_values``)
+            # and, for the relational kernels, the query object itself.
+            shared = ("join", _shipping_instance(instance, algorithm),
+                      algorithm)
+        else:
+            shared = ("join", instance, algorithm)
+
+        stats.start_timer()
+        outcomes = run_morsels("join", payloads, workers=self.workers,
+                               shared=shared, transport=transport)
+        rows: list[tuple] = []
+        for piece, (counters, slice_rows) in zip(slices, outcomes):
+            stats.absorb(counters,
+                         stage_label=f"morsel [{piece.lo},{piece.hi})")
+            rows.extend(slice_rows)
+        stats.stop_timer()
+        if algorithm == "xjoin" and instance.query is not None:
+            # xjoin already projects (and surrogate-erases) per slice.
+            schema = Schema(instance.query.attributes)
+            name = instance.query.name
+        else:
+            # The relational kernels emit rows over the full order.
+            schema = Schema(instance.order)
+            name = instance.name
+        return Relation(name, schema, rows)
+
+    # -- twig matching -----------------------------------------------------
+
+    def run_twig(self, document: "XMLDocument", twig: "TwigQuery",
+                 algorithm: str | None = None, *,
+                 name: str | None = None,
+                 stats: JoinStats | None = None) -> Relation:
+        """Run a registered twig matcher over *document* in parallel.
+
+        Partitioned by the root query node's posting ranges; each
+        morsel's answer is the value projection of the embeddings rooted
+        in its slice, so the union is exactly the serial ``run`` answer.
+        """
+        from repro.xml.columnar import columnar
+        from repro.xml.interface import get_twig_algorithm
+
+        stats = ensure_stats(stats)
+        if algorithm is None:
+            from repro.engine.planner import choose_twig_algorithm
+
+            algorithm = choose_twig_algorithm(document, twig)
+        matcher = get_twig_algorithm(algorithm)
+        base = columnar(document)
+        posting = base.stream(twig.nodes()[0])
+        count = choose_morsel_count(self.workers, len(posting.nids),
+                                    morsel_factor=self.morsel_factor)
+        if self.workers <= 1 or count <= 1:
+            return matcher.run(document, twig, name=name, stats=stats)
+        slices = posting_slices(posting, count)
+        # Documents are never pickled across the pool: twig morsels need
+        # the fork transport (copy-on-write) or the in-process loop. A
+        # pickle-configured executor still parallelizes via fork when
+        # the platform has it, and says so when it cannot, instead of
+        # silently running one-process "parallel" twig matches.
+        if self.transport == "serial":
+            transport = "serial"
+        elif fork_available():
+            transport = "fork"
+        else:
+            raise EngineError(
+                "parallel twig matching needs the 'fork' start method "
+                "(documents are never shipped to workers); use "
+                "transport='serial' or workers=1 on this platform")
+
+        stats.start_timer()
+        outcomes = run_morsels(
+            "twig", [(piece.lo, piece.hi, piece.region_hi)
+                     for piece in slices],
+            workers=self.workers,
+            shared=("twig", document, twig, algorithm, base),
+            transport=transport)
+        rows: list[tuple] = []
+        for piece, (counters, slice_rows) in zip(slices, outcomes):
+            stats.absorb(counters,
+                         stage_label=f"roots [{piece.lo},{piece.hi})")
+            rows.extend(slice_rows)
+        stats.stop_timer()
+        return Relation(name or twig.name, Schema(twig.attributes), rows)
+
+    # -- whole queries -----------------------------------------------------
+
+    def run_query(self, query: "MultiModelQuery", *,
+                  order=None, algorithm: str | None = None,
+                  stats: JoinStats | None = None) -> Relation:
+        """Plan and evaluate *query* with partition-parallel execution.
+
+        The planner chooses the partition axis (the resolved order's
+        first attribute) and morsel count from cached statistics; the
+        encoded instance is built once and shared with the pool.
+        """
+        from repro.engine.encoded import EncodedInstance
+        from repro.engine.planner import plan_query
+
+        stats = ensure_stats(stats)
+        plan = plan_query(query, order=order, algorithm=algorithm,
+                          workers=self.workers,
+                          morsel_factor=self.morsel_factor)
+        if plan.algorithm == "baseline":
+            return self._run_baseline(query, stats=stats)
+        with stats.phase("encode"):
+            instance = EncodedInstance.from_query(query, plan.order)
+        result = self.run_join(instance, plan.algorithm, stats=stats,
+                               morsels=plan.partitions)
+        if result.schema.attributes != query.attributes:
+            result = result.project(query.attributes, name=query.name)
+        return result
+
+    # -- the baseline foil -------------------------------------------------
+
+    def _run_baseline_instance(self, instance: "EncodedInstance", *,
+                               stats: JoinStats) -> Relation:
+        """Adapter: baseline over an instance (mirrors the serial one)."""
+        from repro.core.multimodel import MultiModelQuery
+
+        query = instance.query
+        if query is None:
+            query = MultiModelQuery(instance.relations, name=instance.name)
+        return self._run_baseline(query, stats=stats)
+
+    def _run_baseline(self, query: "MultiModelQuery", *,
+                      stats: JoinStats) -> Relation:
+        """The unencoded foil, partitioned on decoded value segments."""
+        from repro.core.baseline import baseline_join
+
+        attribute = baseline_partition_attribute(query)
+        domain: set = set()
+        if attribute is not None:
+            for relation in query.relations:
+                if attribute in relation.schema.attributes:
+                    domain.update(relation.distinct_values(attribute))
+        count = choose_morsel_count(self.workers, len(domain),
+                                    morsel_factor=self.morsel_factor)
+        if self.workers <= 1 or attribute is None or count <= 1:
+            return baseline_join(query, stats=stats)
+        segments = value_segments(sorted(domain, key=sort_key), count)
+        if self.transport == "serial":
+            transport = "serial"
+        elif fork_available():
+            transport = "fork"
+        elif not query.twigs:
+            transport = "pickle"  # the query ships once per worker
+        else:
+            raise EngineError(
+                "the parallel baseline needs the 'fork' start method for "
+                "twig-bearing queries (documents are never shipped); use "
+                "transport='serial' or workers=1 on this platform")
+
+        stats.start_timer()
+        outcomes = run_morsels(
+            "baseline", [(frozenset(segment),) for segment in segments],
+            workers=self.workers,
+            shared=("baseline", query, attribute),
+            transport=transport)
+        rows: list[tuple] = []
+        for index, (counters, slice_rows) in enumerate(outcomes):
+            stats.absorb(counters, stage_label=f"segment {index}")
+            rows.extend(slice_rows)
+        stats.stop_timer()
+        return Relation(query.name, Schema(query.attributes), rows)
+
+
+def parallel_run_query(query: "MultiModelQuery", *, workers: int,
+                       order=None, algorithm: str | None = None,
+                       morsel_factor: int = DEFAULT_MORSEL_FACTOR,
+                       transport: str | None = None,
+                       stats: JoinStats | None = None) -> Relation:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    executor = ParallelExecutor(workers, morsel_factor=morsel_factor,
+                                transport=transport)
+    return executor.run_query(query, order=order, algorithm=algorithm,
+                              stats=stats)

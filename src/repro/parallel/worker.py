@@ -1,0 +1,191 @@
+"""Worker-process entry points for the morsel pool.
+
+A worker executes **morsels** — slice descriptors produced by
+:mod:`repro.parallel.partition`, just a few ints each — against the
+job state installed in :data:`_SHARED` when the worker starts. How the
+job state travels is the pool's *transport*:
+
+* ``fork`` — children inherit the encoded instance / document
+  copy-on-write through the forked address space; nothing heavy is
+  ever serialized;
+* ``pickle`` — the job state is serialized **once per worker** (as
+  ``Process`` args under a spawn start method; a stripped instance
+  with no source relations or value->code maps). The portable path for
+  platforms without ``fork``; twig jobs are excluded — documents are
+  never shipped.
+
+Workers return ``(index, counters, rows)`` per morsel — plain value
+rows, never node objects or tries, so result pickles stay proportional
+to the answer. Failures travel back as ``(index, None, traceback)`` and
+re-raise in the parent.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.instrumentation import JoinStats
+
+#: The fork-transport job, set by the parent immediately before the pool
+#: forks and cleared after the run. Tuple layout is job-kind specific;
+#: see the ``_run_*`` functions.
+_SHARED: tuple | None = None
+
+#: Per-job memo of the twig's base streams (name -> TagPosting):
+#: predicate filtering scans the full posting, so it runs once per
+#: worker per job, not once per morsel. Cleared by :func:`set_shared`,
+#: the only way a worker ever changes jobs.
+_TWIG_STREAMS: "dict | None" = None
+
+
+def set_shared(job: tuple | None) -> None:
+    """Install (or clear) the current job state (and its memos)."""
+    global _SHARED, _TWIG_STREAMS
+    _SHARED = job
+    _TWIG_STREAMS = None
+
+
+def _base_streams(shared: tuple) -> dict:
+    """The job's per-query-node base streams, memoised per job."""
+    global _TWIG_STREAMS
+    if _TWIG_STREAMS is None:
+        _kind, _document, twig, _algorithm, base = shared
+        _TWIG_STREAMS = {q.name: base.stream(q) for q in twig.nodes()}
+    return _TWIG_STREAMS
+
+
+def _counters(stats: JoinStats) -> dict[str, int | float]:
+    """The picklable counter summary a morsel reports back."""
+    return stats.summary()
+
+
+def run_join_morsel(task: tuple) -> tuple[dict, list]:
+    """Evaluate one code-range slice ``(lo, hi)`` of an encoded join.
+
+    The instance comes from :data:`_SHARED` (``("join", instance,
+    algorithm_name)``) — inherited copy-on-write under fork, shipped
+    once per worker under pickle. Returns the slice's *decoded* result
+    rows.
+    """
+    from repro.engine.interface import get_algorithm
+    from repro.parallel.slicing import sliced_instance
+
+    stats = JoinStats()
+    assert _SHARED is not None and _SHARED[0] == "join"
+    _kind, instance, algorithm = _SHARED
+    view = sliced_instance(instance, task[0], task[1])
+    result = get_algorithm(algorithm).run(view, stats=stats)
+    return _counters(stats), list(result.rows)
+
+
+def run_twig_morsel(task: tuple) -> tuple[dict, list]:
+    """Evaluate one root-posting slice of a twig match.
+
+    ``task`` is ``(lo, hi, region_hi)``; the document, twig, algorithm
+    name and base columnar view come from :data:`_SHARED` as
+    ``("twig", document, twig, algorithm_name, base_view)`` (twig morsels
+    always ride the fork or serial transport — documents are never
+    shipped). Returns the slice's value rows: the projection of every
+    embedding whose root match starts in ``[lo, hi)``.
+    """
+    from bisect import bisect_left
+    from repro.xml.columnar import install_columnar
+    from repro.xml.interface import get_twig_algorithm
+    from repro.xml.navigation import match_embeddings
+    from repro.parallel.slicing import SlicedColumnarView
+
+    assert _SHARED is not None and _SHARED[0] == "twig"
+    _kind, document, twig, algorithm, base = _SHARED
+    lo, hi, region_hi = task
+    stats = JoinStats()
+    attrs = twig.attributes
+    root = twig.nodes()[0]
+
+    streams = _base_streams(_SHARED)
+    if algorithm == "naive":
+        # The navigational oracle walks node objects, not postings: pin
+        # the twig root to each candidate in the slice instead.
+        embeddings = []
+        posting = streams[root.name]
+        i = bisect_left(posting.starts, lo)
+        j = bisect_left(posting.starts, hi)
+        for position in range(i, j):
+            node = base.nodes[posting.nids[position]]
+            embeddings.extend(
+                match_embeddings(document, twig, root=node, stats=stats))
+        rows = {tuple(emb[a].value for a in attrs) for emb in embeddings}
+        return _counters(stats), list(rows)
+
+    view = SlicedColumnarView(base, twig, lo, hi, region_hi,
+                              base_streams=streams)
+    # Algorithms resolve the document through the columnar cache; point
+    # it at the slice view for the duration of this morsel. Workers are
+    # forked per job (and the serial transport restores in-line), so the
+    # parent's cache is never left poisoned.
+    install_columnar(document, view)
+    try:
+        embeddings = get_twig_algorithm(algorithm).embeddings(
+            document, twig, stats=stats)
+    finally:
+        install_columnar(document, base)
+    root_name = root.name
+    rows = {tuple(emb[a].value for a in attrs) for emb in embeddings
+            if lo <= emb[root_name].start < hi}
+    return _counters(stats), list(rows)
+
+
+def run_baseline_morsel(task: tuple) -> tuple[dict, list]:
+    """Evaluate the baseline foil over one value segment.
+
+    ``task`` is ``(segment,)`` — a frozenset of the partition
+    attribute's values; the query and attribute come from :data:`_SHARED`
+    as ``("baseline", query, attribute)``. A ``None`` attribute (twig-only
+    query) means the single morsel evaluates the whole query.
+    """
+    from repro.core.baseline import baseline_join
+    from repro.parallel.slicing import baseline_subquery
+
+    assert _SHARED is not None and _SHARED[0] == "baseline"
+    _kind, query, attribute = _SHARED
+    (segment,) = task
+    stats = JoinStats()
+    if attribute is None:
+        result = baseline_join(query, stats=stats)
+    else:
+        result = baseline_join(
+            baseline_subquery(query, attribute, segment), stats=stats)
+    return _counters(stats), list(result.rows)
+
+
+#: Morsel kind -> executor function (also the worker loop's dispatch).
+MORSEL_RUNNERS = {
+    "join": run_join_morsel,
+    "twig": run_twig_morsel,
+    "baseline": run_baseline_morsel,
+}
+
+
+def worker_loop(kind: str, tasks: Any, results: Any,
+                shared: tuple | None = None) -> None:
+    """The pool worker main: pull morsels until the ``None`` sentinel.
+
+    ``shared`` is the job state, passed through ``Process`` args: under
+    a ``fork`` start method it arrives by copy-on-write inheritance
+    (nothing is serialized); under ``spawn`` it is pickled exactly once
+    per worker. Each task on the queue is ``(index, payload)``; results
+    are pushed as ``(index, counters, rows)`` or ``(index, None,
+    traceback_text)`` on failure.
+    """
+    set_shared(shared)
+    runner = MORSEL_RUNNERS[kind]
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        index, payload = item
+        try:
+            counters, rows = runner(payload)
+            results.put((index, counters, rows))
+        except BaseException:  # noqa: BLE001 - re-raised in the parent
+            results.put((index, None, traceback.format_exc()))

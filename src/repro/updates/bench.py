@@ -38,10 +38,12 @@ class UpdateTiming:
 
     @property
     def ratio(self) -> float:
+        """Rebuild cost over delta-apply cost (the speedup factor)."""
         return self.rebuild_ms / max(self.delta_ms, 1e-9)
 
     @property
     def meets_target(self) -> bool:
+        """Does the speedup reach :data:`SPEEDUP_TARGET`?"""
         return self.ratio >= SPEEDUP_TARGET
 
 
@@ -55,6 +57,7 @@ class ScenarioResult:
 
     @property
     def ok(self) -> bool:
+        """Scenario verdict: answers agree and every timing hits target."""
         return self.consistent and all(t.meets_target
                                        for t in self.timings)
 

@@ -33,6 +33,7 @@ class RelationDelta:
 
     @property
     def net_rows(self) -> int:
+        """The delta's net cardinality change (inserts minus deletes)."""
         return len(self.inserted) - len(self.deleted)
 
 

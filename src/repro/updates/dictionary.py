@@ -60,6 +60,7 @@ class IncrementalDictionary:
     # -- the engine Dictionary duck interface -----------------------------
 
     def encode(self, value: Value) -> int:
+        """The code of *value* (EngineError if outside the domain)."""
         try:
             return self.codes[value]
         except KeyError:
@@ -68,9 +69,11 @@ class IncrementalDictionary:
                 f"attribute {self.attribute!r}") from None
 
     def encode_or_none(self, value: Value) -> int | None:
+        """The code of *value*, or None when it is not in the domain."""
         return self.codes.get(value)
 
     def decode(self, code: int) -> Value:
+        """The value behind *code* (EngineError if out of range)."""
         try:
             return self.values[code]
         except IndexError:
@@ -114,6 +117,7 @@ class IncrementalDictionary:
         return self.overflow / len(self.values) if self.values else 0.0
 
     def needs_compaction(self, threshold: float) -> bool:
+        """Has appended overflow outgrown the *threshold* fraction?"""
         return self.overflow > 0 and self.overflow_fraction > threshold
 
     def compact(self) -> list[int]:

@@ -46,6 +46,7 @@ class VersionedRelation:
 
     @property
     def name(self) -> str:
+        """The wrapped relation's input name (stable across versions)."""
         return self.relation.name
 
     # -- updates -----------------------------------------------------------
@@ -121,9 +122,11 @@ class VersionedRelation:
         return delta
 
     def insert(self, row: Sequence[Value]) -> RelationDelta:
+        """Insert one tuple (convenience over :meth:`apply`)."""
         return self.apply(inserted=[row])
 
     def delete(self, row: Sequence[Value]) -> RelationDelta:
+        """Delete one tuple (convenience over :meth:`apply`)."""
         return self.apply(deleted=[row])
 
     # -- maintained statistics --------------------------------------------

@@ -33,6 +33,7 @@ from collections.abc import Sequence
 from repro.core.multimodel import MultiModelQuery
 from repro.engine.planner import refresh_query_statistics, run_query
 from repro.errors import UpdateError
+from repro.parallel.answers import PartitionedAnswer
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, Value
 from repro.updates.delta import DocumentDelta, RelationDelta
@@ -44,12 +45,22 @@ from repro.xml.model import XMLNode
 
 
 class QuerySession:
-    """One query held open — and kept answered — across updates."""
+    """One query held open — and kept answered — across updates.
+
+    With ``workers > 1`` the session becomes partition-aware: the
+    initial evaluation runs through the partition-parallel executor and
+    the materialized answer is held in a :class:`~repro.parallel.
+    answers.PartitionedAnswer`, with each delta routed to the bucket(s)
+    owning the affected rows (see ``docs/parallelism.md``). Answers are
+    identical to the serial session's at every version.
+    """
 
     def __init__(self, query: MultiModelQuery, *,
                  churn_threshold: float = 0.5,
-                 overflow_threshold: float = 0.25):
+                 overflow_threshold: float = 0.25,
+                 workers: int = 0):
         self.query = query
+        self.workers = max(0, workers)
         self.version = 0
         self.relations: dict[str, VersionedRelation] = {
             relation.name: VersionedRelation(relation)
@@ -73,8 +84,9 @@ class QuerySession:
             order=query.attributes,
             overflow_threshold=overflow_threshold)
         self._attributes = query.attributes
-        self._result_rows: set[tuple[Value, ...]] = set(
-            run_query(query).rows)
+        self._result_rows = PartitionedAnswer(
+            run_query(query, workers=self.workers).rows,
+            partitions=self.workers if self.workers > 1 else 1)
         self._answer: Relation | None = None
 
     # -- current inputs ----------------------------------------------------
@@ -210,16 +222,28 @@ class QuerySession:
                    attributes: "tuple[str, ...]",
                    added: "Sequence[tuple[Value, ...]]",
                    removed: "Sequence[tuple[Value, ...]]") -> None:
-        """Fold one input's row delta into the maintained artifacts."""
+        """Fold one input's row delta into the maintained artifacts.
+
+        Deletions are routed to the partitions that can own affected
+        rows: when the updated input binds the partition attribute (the
+        query's first attribute), each dead tuple names its owner bucket
+        and only those buckets are scanned; otherwise the delete
+        broadcasts. Insertions produce join rows that carry their own
+        partition value, so each lands directly in its owner.
+        """
         self.instance.apply(input_name, added=added, removed=removed)
         if added or removed:
             positions = tuple(self._attributes.index(a)
                               for a in attributes)
             if removed:
                 dead = set(map(tuple, removed))
-                self._result_rows = {
-                    row for row in self._result_rows
-                    if tuple(row[p] for p in positions) not in dead}
+                partition_attribute = self._attributes[0]
+                owner_values = None
+                if partition_attribute in attributes:
+                    at = attributes.index(partition_attribute)
+                    owner_values = {row[at] for row in dead}
+                self._result_rows.discard_restricting(
+                    positions, dead, owner_values=owner_values)
             if added:
                 others = self._other_inputs(input_name)
                 schema = Schema(attributes)
@@ -259,7 +283,7 @@ class QuerySession:
         if self._answer is None:
             self._answer = Relation(self.query.name,
                                     Schema(self._attributes),
-                                    self._result_rows)
+                                    self._result_rows.rows())
         return self._answer
 
     def run(self, algorithm: str = "generic_join") -> Relation:

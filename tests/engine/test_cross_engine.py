@@ -153,3 +153,25 @@ class TestMultiModelCrossEngine:
 def test_run_query_matches_naive_on_random_instances(seed):
     query = random_multimodel_instance(seed)
     assert run_query(query) == query.naive_join()
+
+
+class TestParallelCrossEngine:
+    """The parallel executor joins the cross-engine parity contract:
+    every registered algorithm, same answers, now across workers too
+    (the full matrix lives in ``tests/parallel/test_parallel_parity``).
+    """
+
+    def test_parallel_kernels_on_shared_instance(self):
+        from repro.parallel.executor import ParallelExecutor
+
+        instance = EncodedInstance.from_relations(
+            agm_tight_triangle(30), ("a", "b", "c"))
+        executor = ParallelExecutor(2)
+        reference = get_algorithm("generic_join").run(instance)
+        for algorithm in ("generic_join", "leapfrog"):
+            assert executor.run_join(instance, algorithm) == reference
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_run_query_workers_agrees(self, scenario):
+        query = SCENARIOS[scenario]()
+        assert run_query(query, workers=2) == query.naive_join()

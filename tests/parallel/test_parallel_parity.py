@@ -1,0 +1,191 @@
+"""Parallel vs serial parity for every registered algorithm.
+
+The acceptance property of the parallel subsystem, extending the
+cross-algorithm parity suites (``tests/engine/test_cross_engine``,
+``tests/xml/test_cross_twig``): for every registered join algorithm and
+every registered twig algorithm, the partition-parallel executor's
+answer equals the serial answer — over the pool (fork transport, the CI
+``--workers 2`` path), the in-process morsel loop (serial transport) and
+the pickled-segment transport where it applies.
+"""
+
+import pytest
+
+from repro.data.random_instances import random_multimodel_instance
+from repro.data.synthetic import agm_tight_triangle, example34_instance
+from repro.engine.encoded import EncodedInstance
+from repro.engine.interface import available_algorithms, get_algorithm
+from repro.engine.planner import attribute_order, plan_query, run_query
+from repro.errors import EngineError
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.morsels import fork_available
+from repro.relational.relation import Relation
+from repro.xml.interface import available_twig_algorithms, \
+    get_twig_algorithm
+from repro.xml.twig_parser import parse_twig
+from repro.xml.xmark import xmark_document
+
+WORKERS = 2
+TRANSPORTS = ["serial"] + (["fork"] if fork_available() else [])
+
+
+def executor(transport, workers=WORKERS, **kw):
+    return ParallelExecutor(workers, transport=transport, **kw)
+
+
+# ---------------------------------------------------------------------------
+# join algorithms
+# ---------------------------------------------------------------------------
+
+class TestJoinParity:
+    @pytest.mark.parametrize("transport", TRANSPORTS + ["pickle"])
+    @pytest.mark.parametrize("algorithm", ["generic_join", "leapfrog"])
+    def test_relational_kernels(self, algorithm, transport):
+        instance = EncodedInstance.from_relations(
+            agm_tight_triangle(40), ("a", "b", "c"))
+        serial = get_algorithm(algorithm).run(instance)
+        parallel = executor(transport).run_join(instance, algorithm)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_every_registered_algorithm_on_multimodel(self, transport):
+        instance34 = example34_instance(4)
+        query = instance34.query
+        expected = query.naive_join()
+        encoded = EncodedInstance.from_query(query, attribute_order(query))
+        for algorithm in available_algorithms():
+            if algorithm in ("generic_join", "leapfrog"):
+                continue  # relational kernels reject twig instances
+            parallel = executor(transport).run_join(encoded, algorithm)
+            assert parallel == expected, (algorithm, transport)
+
+    def test_skewed_domain_parity(self):
+        # One partition holds > 90% of the tuples: morsel boundaries
+        # must not lose or duplicate the heavy key's results.
+        rows = ([(0, j) for j in range(60)]
+                + [(i, i) for i in range(1, 5)])
+        relations = [Relation("R", ("a", "b"), rows),
+                     Relation("S", ("b", "c"), rows),
+                     Relation("T", ("a", "c"), rows)]
+        instance = EncodedInstance.from_relations(relations,
+                                                  ("a", "b", "c"))
+        serial = get_algorithm("generic_join").run(instance)
+        for transport in TRANSPORTS:
+            assert executor(transport).run_join(
+                instance, "generic_join") == serial
+
+    def test_empty_input_parity(self):
+        relations = [Relation("R", ("a", "b"), [(1, 2)]),
+                     Relation("S", ("b", "c"))]
+        instance = EncodedInstance.from_relations(relations,
+                                                  ("a", "b", "c"))
+        serial = get_algorithm("generic_join").run(instance)
+        assert executor("serial").run_join(instance,
+                                           "generic_join") == serial
+        assert len(serial) == 0
+
+    def test_pickle_transport_rejects_twig_instances(self):
+        # A twig-bearing instance whose leading attribute has a wide
+        # domain (so the run would genuinely partition, not degrade to
+        # the serial path, which handles twig instances fine).
+        from repro.core.multimodel import MultiModelQuery, TwigBinding
+        from repro.xml.parser import parse_document
+        from repro.xml.twig_parser import parse_twig
+
+        document = parse_document(
+            "<r>" + "".join(f"<x>{i}</x>" for i in range(6)) + "</r>")
+        query = MultiModelQuery(
+            [Relation("R", ("a", "x"), [(i, i) for i in range(6)])],
+            [TwigBinding(parse_twig("x"), document)], name="P")
+        encoded = EncodedInstance.from_query(query, attribute_order(query))
+        with pytest.raises(EngineError):
+            executor("pickle").run_join(encoded, "xjoin", morsels=4)
+
+    def test_pickle_transport_serial_degenerate_runs_fine(self):
+        # The same twig-bearing instance with a unit morsel count must
+        # fall back to the serial kernel instead of raising.
+        query = example34_instance(3).query
+        encoded = EncodedInstance.from_query(query, attribute_order(query))
+        serial = get_algorithm("xjoin").run(encoded)
+        assert executor("pickle").run_join(encoded, "xjoin",
+                                           morsels=1) == serial
+
+    def test_workers_zero_and_one_run_serially(self):
+        instance = EncodedInstance.from_relations(
+            agm_tight_triangle(20), ("a", "b", "c"))
+        serial = get_algorithm("generic_join").run(instance)
+        for workers in (0, 1):
+            assert ParallelExecutor(workers).run_join(
+                instance, "generic_join") == serial
+
+
+# ---------------------------------------------------------------------------
+# whole queries through the planner
+# ---------------------------------------------------------------------------
+
+class TestQueryParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_run_query_workers_matches_serial(self, seed):
+        query = random_multimodel_instance(seed)
+        serial = run_query(query)
+        assert run_query(query, workers=WORKERS) == serial, seed
+
+    def test_plan_carries_partitions(self):
+        query = example34_instance(4).query
+        plan = plan_query(query, workers=4)
+        if plan.partitions > 1:
+            assert plan.partition_axis == plan.order[0]
+        assert plan_query(query).partitions == 1
+
+    @pytest.mark.parametrize("algorithm", ["xjoin", "baseline"])
+    def test_forced_algorithm_parity(self, algorithm):
+        query = example34_instance(4).query
+        serial = run_query(query, algorithm=algorithm)
+        for transport in TRANSPORTS:
+            parallel = executor(transport).run_query(query,
+                                                     algorithm=algorithm)
+            assert parallel == serial, (algorithm, transport)
+
+
+# ---------------------------------------------------------------------------
+# twig algorithms
+# ---------------------------------------------------------------------------
+
+TWIG_PATTERNS = [
+    "oa=open_auction(/ir=itemref, //pr=personref)",
+    "p=person(/nm=name, //i=interest)",
+    "oa=open_auction(//bd=bidder(/pr=personref))",
+    "nm=name",  # single-node twig: the root is the only stream
+]
+
+
+class TestTwigParity:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return xmark_document(1.0, seed=7)
+
+    @pytest.mark.parametrize("pattern", TWIG_PATTERNS)
+    def test_every_registered_matcher(self, document, pattern):
+        twig = parse_twig(pattern)
+        for name in available_twig_algorithms():
+            matcher = get_twig_algorithm(name)
+            if not matcher.supports(twig):
+                continue
+            serial = matcher.run(document, twig)
+            for transport in TRANSPORTS:
+                parallel = executor(transport).run_twig(document, twig,
+                                                        name)
+                assert parallel == serial, (name, pattern, transport)
+
+    def test_absent_root_tag(self, document):
+        twig = parse_twig("z=zeppelin(//q=cabin)")
+        serial = get_twig_algorithm("twigstack").run(document, twig)
+        parallel = executor("serial").run_twig(document, twig, "twigstack")
+        assert parallel == serial
+        assert len(serial) == 0
+
+    def test_planner_chosen_matcher(self, document):
+        twig = parse_twig("p=person(/nm=name, //i=interest)")
+        serial_rows = get_twig_algorithm("tjfast").run(document, twig)
+        parallel = executor("serial").run_twig(document, twig)
+        assert parallel == serial_rows

@@ -139,3 +139,21 @@ class TestXMarkParity:
                         predicate=lambda v: isinstance(v, int) and v > 25)
         twig = TwigQuery(root)
         assert_all_algorithms_agree(document, twig)
+
+
+class TestParallelCrossTwig:
+    """Every registered matcher agrees with its partition-parallel run
+    (the full matrix lives in ``tests/parallel/test_parallel_parity``)."""
+
+    def test_parallel_matchers_agree(self):
+        from repro.parallel.executor import ParallelExecutor
+
+        document = xmark_document(0.2, seed=11)
+        twig = parse_twig("p=person(/nm=name, //i=interest)")
+        expected = match_relation(document, twig)
+        executor = ParallelExecutor(2)
+        for name in available_twig_algorithms():
+            algorithm = get_twig_algorithm(name)
+            if not algorithm.supports(twig):
+                continue
+            assert executor.run_twig(document, twig, name) == expected, name

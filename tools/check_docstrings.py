@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Public-API docstring gate (ruff D1-subset, dependency-free).
+
+Enforces the ``pydocstyle`` D1 "missing docstring" rules on **public**
+names, scoped to the packages that promise documented APIs:
+
+* D100 — public module missing a docstring
+* D101 — public class missing a docstring
+* D102 — public method missing a docstring
+* D103 — public function missing a docstring
+* D104 — public package (``__init__.py``) missing a docstring
+
+A name is public unless it (or any enclosing scope) starts with ``_``;
+dunder methods and ``__init__`` are exempt (D105/D107 are deliberately
+out of scope, matching the ruff ``select`` list in ``pyproject.toml``).
+Methods overriding a documented base (same name, decorated with
+``@override``-style ``# noqa: D102``) can opt out with the standard
+``noqa`` comment.
+
+Usage: ``python tools/check_docstrings.py [paths...]`` (defaults to the
+scoped packages). Exit 1 listing every violation. CI runs this script;
+environments with ruff installed can equivalently run
+``ruff check --select D100,D101,D102,D103,D104 <paths>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: The packages whose public APIs must be documented.
+DEFAULT_SCOPE = [
+    "src/repro/engine",
+    "src/repro/updates",
+    "src/repro/parallel",
+]
+
+
+def _noqa_lines(source: str) -> set[int]:
+    """Line numbers carrying a ``noqa`` for D1 rules (or bare noqa)."""
+    lines = set()
+    for number, line in enumerate(source.splitlines(), start=1):
+        lowered = line.lower()
+        if "# noqa" not in lowered:
+            continue
+        marker = lowered.split("# noqa", 1)[1]
+        if not marker.strip(" :") or "d1" in marker:
+            lines.add(number)
+    return lines
+
+
+def check_file(path: Path) -> list[str]:
+    """All D1 violations in one file, formatted ``path:line: CODE name``."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    noqa = _noqa_lines(source)
+    violations: list[str] = []
+
+    if ast.get_docstring(tree) is None:
+        code = "D104" if path.name == "__init__.py" else "D100"
+        kind = "package" if code == "D104" else "module"
+        violations.append(f"{path}:1: {code} missing docstring "
+                          f"in public {kind}")
+
+    def visit(node: ast.AST, inside_class: bool, private: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                hidden = private or child.name.startswith("_")
+                if not hidden and ast.get_docstring(child) is None \
+                        and child.lineno not in noqa:
+                    violations.append(
+                        f"{path}:{child.lineno}: D101 missing docstring "
+                        f"in public class {child.name!r}")
+                visit(child, True, hidden)
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                dunder = child.name.startswith("__") \
+                    and child.name.endswith("__")
+                hidden = private or child.name.startswith("_")
+                if not hidden and not dunder \
+                        and ast.get_docstring(child) is None \
+                        and child.lineno not in noqa:
+                    code, kind = (("D102", "method") if inside_class
+                                  else ("D103", "function"))
+                    violations.append(
+                        f"{path}:{child.lineno}: {code} missing docstring "
+                        f"in public {kind} {child.name!r}")
+                # Nested defs are implementation detail: do not descend.
+
+    visit(tree, False, False)
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """Check every ``.py`` file under the given (or default) paths."""
+    roots = [Path(p) for p in (argv or DEFAULT_SCOPE)]
+    violations: list[str] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            violations.extend(check_file(file))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} missing public docstring(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docstring gate ok ({', '.join(str(r) for r in roots)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
