@@ -10,7 +10,9 @@ Commands:
   document; ``--suite updates`` races delta-apply against
   rebuild-from-scratch for single-tuple / single-subtree changes;
   ``--suite parallel`` races the partition-parallel executor against
-  serial execution)
+  serial execution; ``--suite buffers`` races the batch buffer kernels
+  against the list-based leapfrog and the shm spawn transport against
+  serial twig matching)
 * ``selftest`` — a quick cross-algorithm consistency check
 
 Options:
@@ -21,11 +23,15 @@ Options:
   multi-model scenarios. Applies to ``figure3``, ``bench`` and
   ``selftest``.
 * ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig``,
-  ``updates`` or ``parallel``.
+  ``updates``, ``parallel`` or ``buffers``.
 * ``--workers N`` — worker processes for partition-parallel execution
   (default 0 = serial). ``bench --suite parallel`` races serial against
   this pool size; ``selftest`` additionally checks parallel/serial
   parity for every registered algorithm.
+* ``--json`` — with ``bench``: also write ``BENCH_<suite>.json`` in the
+  current directory, one record per timed workload with ``suite``,
+  ``scenario``, ``workload``, ``median_ms`` and ``speedup`` (``null``
+  where the workload has no foil to compare against).
 """
 
 from __future__ import annotations
@@ -92,7 +98,8 @@ def cmd_figure3(n: int = 6, twig_algorithm: str | None = None) -> int:
     return 0
 
 
-def cmd_bench(n: int = 150, twig_algorithm: str | None = None) -> int:
+def cmd_bench(n: int = 150, twig_algorithm: str | None = None,
+              records: list | None = None) -> int:
     """Race the registered engine algorithms on the standard scenarios."""
     from repro.engine.encoded import EncodedInstance
     from repro.engine.interface import get_algorithm
@@ -107,9 +114,11 @@ def cmd_bench(n: int = 150, twig_algorithm: str | None = None) -> int:
     named = {r.name: r for r in relations}
     order = ("a", "b", "c")
     instance = EncodedInstance.from_relations(relations, order)
+    scenario = f"triangle n={n}"
     print(f"triangle (n={n}, {len(relations)} relations; "
           "one shared encoded instance):")
     reference = None
+    wcoj_timings = []
     for algorithm in ("generic_join", "leapfrog"):
         result, ms = timed(lambda: get_algorithm(algorithm).run(instance))
         if reference is None:
@@ -119,28 +128,39 @@ def cmd_bench(n: int = 150, twig_algorithm: str | None = None) -> int:
                   f"result ({len(result)} vs {len(reference)} rows)",
                   file=sys.stderr)
             return 1
+        wcoj_timings.append((algorithm, ms))
         print(f"  {algorithm:<14} {ms:8.2f}ms  |Q|={len(result)}")
-    _, ms = timed(lambda: execute_plan(left_deep_plan(["R", "S", "T"]),
-                                       named))
-    print(f"  {'binary plan':<14} {ms:8.2f}ms  (traditional foil)")
+    _, plan_ms = timed(lambda: execute_plan(left_deep_plan(["R", "S", "T"]),
+                                            named))
+    print(f"  {'binary plan':<14} {plan_ms:8.2f}ms  (traditional foil)")
+    if records is not None:
+        for algorithm, ms in wcoj_timings:
+            _record(records, scenario, algorithm, ms,
+                    plan_ms / max(ms, 1e-9))
+        _record(records, scenario, "binary plan", plan_ms, None)
 
     m = max(2, min(8, n // 20))
     instance34 = example34_instance(m)
     print(f"figure 3 scenario (n={m}):")
-    xresult, ms = timed(lambda: xjoin(instance34.query))
-    print(f"  {'xjoin':<14} {ms:8.2f}ms  |Q|={len(xresult)}")
-    bresult, ms = timed(
+    xresult, xms = timed(lambda: xjoin(instance34.query))
+    print(f"  {'xjoin':<14} {xms:8.2f}ms  |Q|={len(xresult)}")
+    bresult, bms = timed(
         lambda: baseline_join(instance34.query,
                               twig_algorithm=twig_algorithm))
     if bresult != xresult:
         print("error: baseline disagrees with xjoin "
               f"({len(bresult)} vs {len(xresult)} rows)", file=sys.stderr)
         return 1
-    print(f"  {'baseline':<14} {ms:8.2f}ms")
+    print(f"  {'baseline':<14} {bms:8.2f}ms")
+    if records is not None:
+        _record(records, f"figure 3 n={m}", "xjoin", xms,
+                bms / max(xms, 1e-9))
+        _record(records, f"figure 3 n={m}", "baseline", bms, None)
     return 0
 
 
-def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None) -> int:
+def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None,
+                   records: list | None = None) -> int:
     """Race the registered twig matchers on an XMark document."""
     from repro.engine.planner import choose_twig_algorithm
     from repro.xml.interface import available_twig_algorithms, \
@@ -164,6 +184,7 @@ def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None) -> int:
         planned = choose_twig_algorithm(document, twig)
         print(f"  {label} [{pattern}] -> planner picks {planned!r}")
         reference = None
+        timings = []
         for name in names:
             algorithm = get_twig_algorithm(name)
             if not algorithm.supports(twig):
@@ -179,11 +200,16 @@ def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None) -> int:
                       f"({len(result)} vs {len(reference)} rows)",
                       file=sys.stderr)
                 return 1
+            timings.append((name, ms))
             print(f"    {name:<12} {ms:8.2f}ms  |answer|={len(result)}")
+        if records is not None and timings:
+            slowest = max(ms for _name, ms in timings)
+            for name, ms in timings:
+                _record(records, label, name, ms, slowest / max(ms, 1e-9))
     return 0
 
 
-def cmd_bench_updates(n: int = 300) -> int:
+def cmd_bench_updates(n: int = 300, records: list | None = None) -> int:
     """Race delta-apply against rebuild-from-scratch on the dynamic
     scenarios (shared with ``benchmarks/bench_updates.py`` through
     :mod:`repro.updates.bench`): the triangle query under single-tuple
@@ -204,6 +230,9 @@ def cmd_bench_updates(n: int = 300) -> int:
                   f"rebuild {timing.rebuild_ms:8.3f}ms/update   "
                   f"speedup {timing.ratio:5.1f}x "
                   f"(target >= {SPEEDUP_TARGET:g}x)")
+            if records is not None:
+                _record(records, result.title, timing.label,
+                        timing.delta_ms, timing.ratio)
         if not result.consistent:
             print(f"error: {result.title}: session diverged from rebuild",
                   file=sys.stderr)
@@ -215,7 +244,8 @@ def cmd_bench_updates(n: int = 300) -> int:
     return 1 if failures else 0
 
 
-def cmd_bench_parallel(n: int = 2000, workers: int = 2) -> int:
+def cmd_bench_parallel(n: int = 2000, workers: int = 2,
+                       records: list | None = None) -> int:
     """Race the partition-parallel executor against serial execution
     (shared with ``benchmarks/bench_parallel.py`` through
     :mod:`repro.parallel.bench`). Parity failures are fatal; speedups
@@ -242,9 +272,56 @@ def cmd_bench_parallel(n: int = 2000, workers: int = 2) -> int:
             print(f"    {timing.label:<24} serial {timing.serial_ms:8.1f}ms"
                   f"   parallel {timing.parallel_ms:8.1f}ms"
                   f"   speedup {timing.speedup:5.2f}x{gate}")
+            if records is not None:
+                _record(records, result.title, timing.label,
+                        timing.parallel_ms, timing.speedup)
         if not result.consistent:
             print(f"error: {result.title}: parallel answer diverged "
                   "from serial", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_bench_buffers(n: int = 3000, records: list | None = None) -> int:
+    """Race the batch buffer kernels against the list-based leapfrog
+    and the shm spawn transport against serial twig matching (shared
+    with ``benchmarks/bench_buffers.py`` through
+    :mod:`repro.buffers.bench`). Parity, attach-only shipping and a
+    clean ``/dev/shm`` are fatal; the kernel speedup target is enforced
+    by the benchmark suite."""
+    from repro.buffers.bench import (
+        SPEEDUP_TARGET,
+        intersection_scenario,
+        spawn_twig_scenario,
+    )
+
+    failures = 0
+    scenarios = (intersection_scenario(max(n, 600)),
+                 spawn_twig_scenario(4.0, workers=2))
+    print(f"buffers suite: batch kernels vs list foils; kernel target "
+          f">= {SPEEDUP_TARGET:g}x (enforced by benchmarks/"
+          "bench_buffers.py at n >= 3000)")
+    for result in scenarios:
+        print(f"  {result.title}:")
+        for timing in result.timings:
+            gate = "" if timing.gated else "  (reported only)"
+            print(f"    {timing.label:<28} foil {timing.list_ms:8.1f}ms"
+                  f"   batch {timing.buffer_ms:8.1f}ms"
+                  f"   speedup {timing.speedup:5.2f}x{gate}")
+            if records is not None:
+                _record(records, result.title, timing.label,
+                        timing.buffer_ms, timing.speedup)
+        if not result.consistent:
+            print(f"error: {result.title}: batch answer diverged from "
+                  "the list foil", file=sys.stderr)
+            failures += 1
+        if not result.attach_only:
+            print(f"error: {result.title}: a worker received a pickled "
+                  "instance (attach-only violated)", file=sys.stderr)
+            failures += 1
+        if result.leaked:
+            print(f"error: {result.title}: leaked shared-memory "
+                  f"segments {list(result.leaked)!r}", file=sys.stderr)
             failures += 1
     return 1 if failures else 0
 
@@ -273,6 +350,27 @@ def cmd_selftest(twig_algorithm: str | None = None,
     print("selftest:", "FAILED" if failures else "ok",
           f"({20 - failures}/20 instances consistent{suffix})")
     return 1 if failures else 0
+
+
+def _record(records: list, scenario: str, workload: str,
+            median_ms: float, speedup: float | None) -> None:
+    """Append one ``BENCH_<suite>.json`` record (suite filled on write)."""
+    records.append({"scenario": scenario, "workload": workload,
+                    "median_ms": round(median_ms, 3),
+                    "speedup": None if speedup is None
+                    else round(speedup, 3)})
+
+
+def _write_bench_json(suite: str, records: list) -> None:
+    """Write ``BENCH_<suite>.json`` in the current directory."""
+    import json
+
+    path = f"BENCH_{suite}.json"
+    payload = [{"suite": suite, **record} for record in records]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path} ({len(payload)} records)")
 
 
 class _BadArgument(Exception):
@@ -307,12 +405,21 @@ def _extract_option(args: list[str], flag: str) -> str | None:
     return None
 
 
+def _extract_flag(args: list[str], flag: str) -> bool:
+    """Remove a valueless ``--flag`` from *args*; True if it was there."""
+    if flag in args:
+        args.remove(flag)
+        return True
+    return False
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     try:
         twig_algorithm = _extract_option(args, "--twig-algorithm")
         suite = _extract_option(args, "--suite")
         workers_option = _extract_option(args, "--workers")
+        emit_json = _extract_flag(args, "--json")
     except _BadArgument:
         return 2
     workers = 0
@@ -340,6 +447,9 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --workers applies to 'bench --suite parallel' and "
               "'selftest' only", file=sys.stderr)
         return 2
+    if emit_json and command != "bench":
+        print("error: --json applies to 'bench' only", file=sys.stderr)
+        return 2
     try:
         if command == "figure1":
             return cmd_figure1()
@@ -349,25 +459,35 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_figure3(_int_argument(command, args, 6),
                                twig_algorithm)
         if command == "bench":
-            if suite not in (None, "engine", "twig", "updates", "parallel"):
+            suites = ("engine", "twig", "updates", "parallel", "buffers")
+            if suite not in (None,) + suites:
                 print(f"error: unknown bench suite {suite!r}; choose from "
-                      "['engine', 'twig', 'updates', 'parallel']",
-                      file=sys.stderr)
+                      f"{list(suites)!r}", file=sys.stderr)
                 return 2
+            records: list | None = [] if emit_json else None
             if suite == "updates":
-                return cmd_bench_updates(_int_argument(command, args, 300))
-            if suite == "parallel":
+                rc = cmd_bench_updates(_int_argument(command, args, 300),
+                                       records)
+            elif suite == "parallel":
                 if workers == 1:  # explicit serial contradicts the suite
                     print("error: --suite parallel needs --workers >= 2 "
                           "(default 2)", file=sys.stderr)
                     return 2
-                return cmd_bench_parallel(
+                rc = cmd_bench_parallel(
                     _int_argument(command, args, 2000),
-                    workers or 2)
-            n = _int_argument(command, args, 150)
-            if suite == "twig":
-                return cmd_bench_twig(n, twig_algorithm)
-            return cmd_bench(n, twig_algorithm)
+                    workers or 2, records)
+            elif suite == "buffers":
+                rc = cmd_bench_buffers(_int_argument(command, args, 3000),
+                                       records)
+            elif suite == "twig":
+                rc = cmd_bench_twig(_int_argument(command, args, 150),
+                                    twig_algorithm, records)
+            else:
+                rc = cmd_bench(_int_argument(command, args, 150),
+                               twig_algorithm, records)
+            if rc == 0 and records is not None:
+                _write_bench_json(suite or "engine", records)
+            return rc
         if command == "selftest":
             return cmd_selftest(twig_algorithm, workers)
     except _BadArgument:

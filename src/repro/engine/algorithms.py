@@ -19,12 +19,19 @@ pre-engine implementations (per-level ``record_stage`` sizes — the
 quantity Lemma 3.5 bounds — plus emit and filter counters). Seek counts
 remain per-probe but run slightly lower than the pre-engine numbers: the
 last-level fast paths no longer probe the seeding trie against itself,
+and LFTJ's innermost level now runs as one batch
+:func:`~repro.buffers.kernels.intersect_many` call over the raw key
+buffers (each galloping probe counts as one seek and one comparison),
 so seek totals are comparable across engine algorithms, not across
-engine versions.
+engine versions. The hashed kernels (GenericJoin, XJoin) keep dict
+membership probes at the last level: an O(1) hash probe beats a Python
+galloping loop when the non-seed side is a hash map rather than a
+sorted buffer.
 """
 
 from __future__ import annotations
 
+from repro.buffers.kernels import intersect_many
 from repro.engine.encoded import EncodedInstance, EncodedTrieIterator
 from repro.engine.interface import register
 from repro.errors import EngineError
@@ -163,8 +170,18 @@ class LeapfrogTriejoinAlgorithm:
             for it in its:
                 it.open()
             produced = 0
-            last = level + 1 == depth
-            if not any(it.at_end() for it in its):
+            if level + 1 == depth:
+                # Innermost level: one batch k-way intersection over the
+                # raw key buffers replaces per-element leapfrogging. Each
+                # galloping probe counts as one seek and one comparison.
+                common, probes = intersect_many(
+                    [it.current_keys() for it in its])
+                seeks += probes
+                comparisons += probes
+                prefix = tuple(binding)
+                rows.extend(prefix + (code,) for code in common)
+                produced = len(common)
+            elif not any(it.at_end() for it in its):
                 its_sorted = sorted(its, key=EncodedTrieIterator.key)
                 count = len(its_sorted)
                 p = 0
@@ -176,10 +193,7 @@ class LeapfrogTriejoinAlgorithm:
                     if least == max_key:
                         binding.append(least)
                         produced += 1
-                        if last:
-                            rows.append(tuple(binding))
-                        else:
-                            search(level + 1)
+                        search(level + 1)
                         binding.pop()
                         it.next()
                         seeks += 1

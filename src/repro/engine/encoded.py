@@ -15,20 +15,31 @@ any :class:`~repro.engine.interface.JoinAlgorithm`. It bundles
 * for multi-model queries, the twig-side filters (structure validators
   and A-D prefilter indexes) that XJoin's modes consume.
 
-Tries store dense int codes: every level's key list is a sorted plain
-``list[int]`` (code order == value order, see the dictionary layer), so
-seeks are ``bisect`` on ints and hashed descent probes int-keyed dicts.
-Building from sorted encoded rows shares prefixes with the previous row,
-which also yields the key lists already sorted — no per-node sort pass.
+Tries store dense int codes: every level's key list is a sorted typed
+buffer (:mod:`repro.buffers.layout` picks the narrowest ``array``
+typecode from the level's code bound and widens on demand; code order ==
+value order, see the dictionary layer), so seeks are galloping probes
+over contiguous ints and hashed descent probes int-keyed dicts. Building
+from sorted encoded rows shares prefixes with the previous row, which
+also yields the key buffers already sorted — no per-node sort pass. The
+update layer's ``insert``/``remove`` splice the same buffers in place
+(amortized via the array over-allocation), so delta maintenance never
+forces a repack.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.buffers.kernels import gallop
+from repro.buffers.layout import (
+    insert_code,
+    make,
+    remove_code,
+    typecode_for,
+)
 from repro.engine.dictionary import Dictionary, DictionaryBuilder, encode_rows
 from repro.errors import EngineError, QueryError
 from repro.relational.relation import Relation
@@ -44,17 +55,17 @@ if TYPE_CHECKING:
 
 
 class EncodedTrieNode:
-    """One trie level: sorted int codes plus child pointers."""
+    """One trie level: a sorted typed code buffer plus child pointers."""
 
     __slots__ = ("keys", "children")
 
-    def __init__(self) -> None:
-        self.keys: list[int] = []
+    def __init__(self, typecode: str = "H") -> None:
+        self.keys = make(typecode)
         self.children: dict[int, "EncodedTrieNode"] = {}
 
     def seek_index(self, code: int) -> int:
         """Index of the first key >= *code*."""
-        return bisect_left(self.keys, code)
+        return gallop(self.keys, code)
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -65,21 +76,36 @@ class EncodedTrie:
 
     ``encoded_rows`` must be *distinct* (encoding a relation's distinct
     rows, or an already-deduplicated row set, guarantees this).
+    ``code_bounds`` optionally gives the maximum code per level (the
+    builders pass each level dictionary's size) so every node at that
+    level packs into the narrowest typecode without a scan; without it
+    the rows are scanned once, column-wise.
     """
 
-    __slots__ = ("name", "order", "root", "size")
+    __slots__ = ("name", "order", "root", "size", "_typecodes")
 
     def __init__(self, name: str, order: Sequence[str],
-                 encoded_rows: Iterable[tuple[int, ...]]):
+                 encoded_rows: Iterable[tuple[int, ...]], *,
+                 code_bounds: Sequence[int] | None = None):
         self.name = name
         self.order = tuple(order)
         rows = sorted(encoded_rows)
         self.size = len(rows)
-        root = EncodedTrieNode()
+        if code_bounds is None:
+            bounds = ([max(column) for column in zip(*rows)] if rows
+                      else [0] * len(self.order))
+        else:
+            bounds = list(code_bounds)
+        # One typecode per level, plus a trailing narrow one so child
+        # creation below the last level never indexes out of range.
+        self._typecodes = tuple(typecode_for(max(hi, 0)) for hi in bounds) \
+            + ("B",)
+        root = EncodedTrieNode(self._typecodes[0])
         # Sorted insertion: reuse the chain of nodes shared with the
         # previous row; new keys always append in sorted position.
         chain: list[EncodedTrieNode] = [root]
         previous: tuple[int, ...] | None = None
+        typecodes = self._typecodes
         for row in rows:
             split = 0
             if previous is not None:
@@ -88,8 +114,8 @@ class EncodedTrie:
                     split += 1
             del chain[split + 1:]
             node = chain[split]
-            for code in row[split:]:
-                child = EncodedTrieNode()
+            for level, code in enumerate(row[split:], split):
+                child = EncodedTrieNode(typecodes[level + 1])
                 node.keys.append(code)
                 node.children[code] = child
                 chain.append(child)
@@ -114,7 +140,8 @@ class EncodedTrie:
     def insert(self, row: "tuple[int, ...]") -> bool:
         """Insert one encoded row; returns False if it was present.
 
-        Keys stay sorted (``insort``), so iterators and seeks keep
+        Keys stay sorted (a sorted buffer splice, widening the typecode
+        when a new code outgrows it), so iterators and seeks keep
         working on the patched trie without a rebuild.
         """
         self._check_arity(row)
@@ -124,11 +151,11 @@ class EncodedTrie:
             return not present
         node = self.root
         created = False
-        for code in row:
+        for level, code in enumerate(row):
             child = node.children.get(code)
             if child is None:
-                child = EncodedTrieNode()
-                insort(node.keys, code)
+                child = EncodedTrieNode(self._typecodes[level + 1])
+                node.keys = insert_code(node.keys, code)
                 node.children[code] = child
                 created = True
             node = child
@@ -154,10 +181,10 @@ class EncodedTrie:
             path.append((node, code))
             node = child
         for node, code in reversed(path):
-            if node.children[code].keys:
+            if len(node.children[code].keys):
                 break
             del node.children[code]
-            del node.keys[bisect_left(node.keys, code)]
+            node.keys = remove_code(node.keys, code)
         self.size -= 1
         return True
 
@@ -215,10 +242,19 @@ class EncodedTrieIterator:
         self._pos += 1
 
     def seek(self, code: int) -> None:
-        """Advance the cursor to the first key >= *code* (never back)."""
-        index = bisect_left(self._node.keys, code)
+        """Advance the cursor to the first key >= *code* (never back).
+
+        Gallops from the cursor, so a seek costs O(log d) in the
+        distance d actually moved, not in the level's width.
+        """
+        index = gallop(self._node.keys, code, self._pos if self._pos > 0
+                       else 0)
         if index > self._pos:
             self._pos = index
+
+    def current_keys(self) -> Sequence[int]:
+        """The current level's full key buffer (batch kernels read it)."""
+        return self._node.keys
 
 
 @dataclass
@@ -305,7 +341,9 @@ class EncodedInstance:
             positions = relation.schema.positions(trie_order)
             encoded = encode_rows(relation.rows, positions,
                                   [dictionaries[a] for a in trie_order])
-            tries.append(EncodedTrie(relation.name, trie_order, encoded))
+            bounds = [len(dictionaries[a].values) - 1 for a in trie_order]
+            tries.append(EncodedTrie(relation.name, trie_order, encoded,
+                                     code_bounds=bounds))
         return cls(name, resolved, dictionaries, tries, relations=relations)
 
     @classmethod
@@ -367,13 +405,17 @@ class EncodedInstance:
             positions = relation.schema.positions(trie_order)
             encoded = encode_rows(relation.rows, positions,
                                   [dictionaries[a] for a in trie_order])
-            tries.append(EncodedTrie(relation.name, trie_order, encoded))
+            bounds = [len(dictionaries[a].values) - 1 for a in trie_order]
+            tries.append(EncodedTrie(relation.name, trie_order, encoded,
+                                     code_bounds=bounds))
         for path_name, attributes, rows in path_inputs:
             trie_order = Schema(attributes).restrict_order(expansion)
             positions = tuple(attributes.index(a) for a in trie_order)
             encoded = encode_rows(rows, positions,
                                   [dictionaries[a] for a in trie_order])
-            tries.append(EncodedTrie(path_name, trie_order, encoded))
+            bounds = [len(dictionaries[a].values) - 1 for a in trie_order]
+            tries.append(EncodedTrie(path_name, trie_order, encoded,
+                                     code_bounds=bounds))
 
         filters = TwigFilters(
             twig_attrs={binding.name: set(binding.twig.attributes)

@@ -370,6 +370,13 @@ def choose_twig_algorithm(document: "XMLDocument",
     return "twigstack"
 
 
+#: Minimum top-level codes per morsel. The batch buffer kernels
+#: (galloping seek, k-way array intersection) drive per-code cost so low
+#: that a morsel's fixed overhead — queue hop, slice clone, result
+#: pickle — dominates thin slices; don't cut pieces smaller than this.
+MIN_CODES_PER_MORSEL = 4
+
+
 def choose_partitions(query: "MultiModelQuery", order: tuple[str, ...],
                       workers: int, *,
                       morsel_factor: int = 4) -> tuple[int, str | None]:
@@ -380,7 +387,10 @@ def choose_partitions(query: "MultiModelQuery", order: tuple[str, ...],
     morsel count follows the work-stealing sizing rule (``morsel_factor``
     morsels per worker, capped by the axis' estimated domain): enough
     pieces that the queue can rebalance skew, never more pieces than the
-    domain has distinct values. One partition means "run serially".
+    domain has distinct values — and never slices thinner than
+    :data:`MIN_CODES_PER_MORSEL` codes, where the batch kernels' speed
+    makes morsel overhead the dominant cost. One partition means "run
+    serially".
     """
     if workers <= 1 or not order:
         return 1, None
@@ -390,6 +400,7 @@ def choose_partitions(query: "MultiModelQuery", order: tuple[str, ...],
     domain = statistics_for(query).domain_estimate(axis)
     count = choose_morsel_count(workers, domain,
                                 morsel_factor=morsel_factor)
+    count = min(count, max(1, domain // MIN_CODES_PER_MORSEL))
     return (count, axis) if count > 1 else (1, None)
 
 

@@ -57,6 +57,13 @@ class EngineError(ReproError):
     value outside an encoded domain, instance/algorithm mismatch, ...)."""
 
 
+class TransportError(EngineError):
+    """No parallel transport can carry this job on this platform
+    (e.g. a twig-bearing join without ``fork``: validators pin live
+    documents, which are never serialized). Subclasses
+    :class:`EngineError` so transport-agnostic callers keep working."""
+
+
 class UpdateError(ReproError):
     """An update is invalid (unknown input, foreign node, deleting the
     document root, row/arity mismatch, ...)."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import EngineError
+from repro.errors import TransportError
 from repro.instrumentation import JoinStats, ensure_stats
 from repro.parallel.morsels import fork_available, run_morsels
 from repro.parallel.partition import (
@@ -48,14 +48,14 @@ if TYPE_CHECKING:
 def available_transports() -> list[str]:
     """Transports usable on this platform, preferred first."""
     out = ["fork"] if fork_available() else []
-    return out + ["pickle", "serial"]
+    return out + ["shm", "pickle", "serial"]
 
 
 def default_transport(workers: int) -> str:
     """The transport a fresh executor picks for *workers* processes."""
     if workers <= 1:
         return "serial"
-    return "fork" if fork_available() else "pickle"
+    return "fork" if fork_available() else "shm"
 
 
 def _shipping_instance(instance: "EncodedInstance",
@@ -79,8 +79,9 @@ class ParallelExecutor:
 
     ``workers`` is the pool size (0/1 = serial), ``morsel_factor`` the
     morsels cut per worker (more absorbs skew, fewer lowers overhead)
-    and ``transport`` one of ``"fork"`` / ``"pickle"`` / ``"serial"``
-    (default: the platform's best, see :func:`default_transport`).
+    and ``transport`` one of ``"fork"`` / ``"shm"`` / ``"pickle"`` /
+    ``"serial"`` (default: the platform's best, see
+    :func:`default_transport`).
     """
 
     def __init__(self, workers: int, *,
@@ -119,15 +120,24 @@ class ParallelExecutor:
             return get_algorithm(algorithm).run(instance, stats=stats)
         transport = self.transport
         has_twigs = instance.query is not None and bool(instance.query.twigs)
-        if transport == "pickle" and has_twigs:
-            raise EngineError(
-                "the 'pickle' transport serializes the encoded instance and "
-                "cannot carry twig-bearing instances; use the 'fork' "
+        if transport in ("pickle", "shm") and has_twigs:
+            raise TransportError(
+                f"the {transport!r} transport ships the encoded instance "
+                "across processes and cannot carry twig-bearing instances "
+                "(structure validators pin live documents); use the 'fork' "
                 "transport (or workers=1)")
         slices = code_slices(instance, count, weights=weights)
 
         payloads = [(piece.lo, piece.hi) for piece in slices]
-        if transport == "pickle":
+        arena = None
+        if transport == "shm":
+            # The tries freeze into one published arena; workers attach
+            # zero-copy and only the descriptor tuple is ever pickled.
+            from repro.parallel.shm import publish_instance
+
+            arena = publish_instance(instance, algorithm)
+            shared = ("join_shm", arena.name, algorithm)
+        elif transport == "pickle":
             # The job state is serialized once per worker (not per
             # morsel); strip what workers never read — source relations,
             # the value->code maps (decode runs on ``_level_values``)
@@ -138,8 +148,13 @@ class ParallelExecutor:
             shared = ("join", instance, algorithm)
 
         stats.start_timer()
-        outcomes = run_morsels("join", payloads, workers=self.workers,
-                               shared=shared, transport=transport)
+        try:
+            outcomes = run_morsels("join", payloads, workers=self.workers,
+                                   shared=shared, transport=transport)
+        finally:
+            if arena is not None:
+                arena.close()
+                arena.unlink()
         rows: list[tuple] = []
         for piece, (counters, slice_rows) in zip(slices, outcomes):
             stats.absorb(counters,
@@ -184,28 +199,48 @@ class ParallelExecutor:
         if self.workers <= 1 or count <= 1:
             return matcher.run(document, twig, name=name, stats=stats)
         slices = posting_slices(posting, count)
-        # Documents are never pickled across the pool: twig morsels need
-        # the fork transport (copy-on-write) or the in-process loop. A
-        # pickle-configured executor still parallelizes via fork when
-        # the platform has it, and says so when it cannot, instead of
-        # silently running one-process "parallel" twig matches.
+        # Documents are never *pickled* across the pool: twig morsels
+        # ride fork (copy-on-write), shm (the columnar buffers publish
+        # once and workers attach zero-copy) or the in-process loop. A
+        # pickle-configured executor routes through shm — same spawn
+        # start method, no per-worker document serialization — so twig
+        # parallelism works on every platform. The one exception is the
+        # navigational ``naive`` oracle, which walks real node objects
+        # that only exist in the publisher's address space.
         if self.transport == "serial":
             transport = "serial"
-        elif fork_available():
+        elif self.transport == "fork" and fork_available():
+            transport = "fork"
+        elif algorithm == "naive":
+            if not fork_available():
+                raise TransportError(
+                    "the 'naive' twig matcher walks live XMLNode objects "
+                    "and cannot attach a shared-memory view; it needs the "
+                    "'fork' start method — use transport='serial', "
+                    "workers=1 or a columnar matcher on this platform")
             transport = "fork"
         else:
-            raise EngineError(
-                "parallel twig matching needs the 'fork' start method "
-                "(documents are never shipped to workers); use "
-                "transport='serial' or workers=1 on this platform")
+            transport = "shm"
+
+        payloads = [(piece.lo, piece.hi, piece.region_hi)
+                    for piece in slices]
+        arena = None
+        if transport == "shm":
+            from repro.parallel.shm import publish_document
+
+            arena = publish_document(base)
+            shared: tuple = ("twig_shm", arena.name, twig, algorithm)
+        else:
+            shared = ("twig", document, twig, algorithm, base)
 
         stats.start_timer()
-        outcomes = run_morsels(
-            "twig", [(piece.lo, piece.hi, piece.region_hi)
-                     for piece in slices],
-            workers=self.workers,
-            shared=("twig", document, twig, algorithm, base),
-            transport=transport)
+        try:
+            outcomes = run_morsels("twig", payloads, workers=self.workers,
+                                   shared=shared, transport=transport)
+        finally:
+            if arena is not None:
+                arena.close()
+                arena.unlink()
         rows: list[tuple] = []
         for piece, (counters, slice_rows) in zip(slices, outcomes):
             stats.absorb(counters,
@@ -277,10 +312,11 @@ class ParallelExecutor:
         elif not query.twigs:
             transport = "pickle"  # the query ships once per worker
         else:
-            raise EngineError(
+            raise TransportError(
                 "the parallel baseline needs the 'fork' start method for "
-                "twig-bearing queries (documents are never shipped); use "
-                "transport='serial' or workers=1 on this platform")
+                "twig-bearing queries (it re-walks the source documents, "
+                "which are never shipped); use transport='serial' or "
+                "workers=1 on this platform")
 
         stats.start_timer()
         outcomes = run_morsels(

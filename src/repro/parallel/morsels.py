@@ -22,7 +22,12 @@ from collections.abc import Sequence
 
 from repro.errors import EngineError
 from repro.parallel import worker as worker_module
-from repro.parallel.worker import MORSEL_RUNNERS, set_shared, worker_loop
+from repro.parallel.worker import (
+    MORSEL_RUNNERS,
+    release_shared,
+    set_shared,
+    worker_loop,
+)
 
 
 def fork_available() -> bool:
@@ -39,10 +44,11 @@ def run_morsels(kind: str, payloads: Sequence[tuple], *,
 
     ``shared`` is the job state workers receive at startup — by
     copy-on-write inheritance under ``"fork"``, serialized once per
-    worker under ``"pickle"``, installed in-process under ``"serial"``
-    (see :mod:`repro.parallel.worker`). The returned list is indexed
-    like *payloads* regardless of which worker finished which morsel
-    first.
+    worker under ``"pickle"``, attached zero-copy from a published
+    shared-memory arena under ``"shm"`` (the descriptor tuple is all
+    that ships), installed in-process under ``"serial"`` (see
+    :mod:`repro.parallel.worker`). The returned list is indexed like
+    *payloads* regardless of which worker finished which morsel first.
     """
     if kind not in MORSEL_RUNNERS:
         raise EngineError(f"unknown morsel kind {kind!r}; "
@@ -52,19 +58,20 @@ def run_morsels(kind: str, payloads: Sequence[tuple], *,
     pool_size = min(workers, len(payloads))
     if transport == "serial" or pool_size <= 1:
         return _run_inline(kind, payloads, shared)
-    if transport not in ("fork", "pickle"):
+    if transport not in ("fork", "pickle", "shm"):
         raise EngineError(f"unknown transport {transport!r}; choose from "
-                          "['fork', 'pickle', 'serial']")
+                          "['fork', 'pickle', 'shm', 'serial']")
     if transport == "fork" and not fork_available():
         raise EngineError(
             "the 'fork' transport is unavailable on this platform; use "
-            "transport='pickle' (relational jobs) or 'serial'")
+            "transport='shm' or 'serial'")
 
-    if transport == "pickle":
-        # Spawn even where fork exists: the pickle transport's whole
-        # point is serialized job state, and riding fork here would let
-        # unpicklable additions to the encoded artifacts pass every
-        # Linux test and first break on spawn-only platforms.
+    if transport in ("pickle", "shm"):
+        # Spawn even where fork exists: these transports' whole point is
+        # explicitly shipped job state (a serialized instance, or a
+        # shared-memory descriptor workers attach), and riding fork here
+        # would let unpicklable additions to the shipped artifacts pass
+        # every Linux test and first break on spawn-only platforms.
         context = multiprocessing.get_context("spawn")
     else:
         context = multiprocessing.get_context("fork")
@@ -120,11 +127,17 @@ def run_morsels(kind: str, payloads: Sequence[tuple], *,
 
 def _run_inline(kind: str, payloads: Sequence[tuple],
                 shared: tuple | None) -> list[tuple[dict, list]]:
-    """The serial fallback: same runners, same contract, no processes."""
+    """The serial fallback: same runners, same contract, no processes.
+
+    A ``*_shm`` descriptor materializes in-process (the attachment maps
+    the parent's own segment) and its views are released before the
+    previous job state is restored.
+    """
     runner = MORSEL_RUNNERS[kind]
     previous = worker_module._SHARED
     set_shared(shared)
     try:
         return [runner(payload) for payload in payloads]
     finally:
+        release_shared(worker_module._SHARED)
         set_shared(previous)

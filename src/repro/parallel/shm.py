@@ -1,0 +1,324 @@
+"""Zero-copy job publication over shared memory.
+
+The ``shm`` transport is the spawn-safe counterpart of ``fork``: the
+parent lays the job's typed buffers into one
+:class:`~repro.buffers.shm.SharedArena` segment **once**, ships workers
+only a tiny ``(kind, arena_name, ...)`` descriptor, and each worker
+attaches ``memoryview`` windows over the same physical pages. Nothing
+heavy is pickled per worker — the decode tables and vocabularies ride
+the arena's single pickled meta block — which is what unlocks parallel
+twig matching on platforms without ``fork``.
+
+Two job families publish here:
+
+* **documents** — :func:`publish_document` flattens a
+  :class:`~repro.xml.columnar.ColumnarDocument` (node columns verbatim;
+  the per-tag and per-path posting lists as concatenated data + offset
+  buffers, classic CSR). :func:`attach_document` rebuilds a read-only
+  view whose columns are zero-copy casts, whose ``nodes`` are lazy
+  :class:`NodeStub` adapters over the columns (real
+  :class:`~repro.xml.model.XMLNode` objects never cross processes), and
+  installs it in the columnar cache under a fresh
+  :class:`DocumentHandle`, so every registered twig matcher runs
+  unchanged. Dewey labels are not shipped — no matcher reads them; the
+  update layer owns the mutable original.
+* **encoded instances** — :func:`publish_instance` freezes each
+  :class:`~repro.engine.encoded.EncodedTrie` into CSR level/offset
+  buffers (:func:`~repro.buffers.frozen.freeze_trie`);
+  :func:`attach_instance` rebuilds trie shells rooted in
+  :class:`~repro.buffers.frozen.FrozenTrieNode` adapters, which every
+  registered join kernel and the executor's slicing consume as-is.
+
+Lifecycle: the publisher (the executor) owns the segment and closes +
+unlinks it when the job's morsels drain; attachers only close. See
+:mod:`repro.buffers.shm` for the resource-tracker discipline and the
+``repro-buf`` leak-check prefix.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.buffers.frozen import FrozenTrie, freeze_trie
+from repro.buffers.layout import typecode_for
+from repro.buffers.shm import SharedArena
+
+if TYPE_CHECKING:
+    from repro.engine.encoded import EncodedInstance
+    from repro.xml.columnar import ColumnarDocument
+
+
+def _as_array(buf: Sequence[int]) -> array:
+    """*buf* as an ``array`` (publication needs the buffer protocol).
+
+    Typed buffers pass through; lists (e.g. under the parity suite's
+    list backend) pack into the narrowest fitting typecode here, outside
+    the :func:`~repro.buffers.layout.pack` switch.
+    """
+    if isinstance(buf, array):
+        return buf
+    if isinstance(buf, memoryview):
+        out = array(buf.format)
+        out.extend(buf)
+        return out
+    values = list(buf)
+    hi = max(values, default=0)
+    lo = min(min(values, default=0), 0)
+    return array(typecode_for(hi, lo), values)
+
+
+# ---------------------------------------------------------------------------
+# documents
+# ---------------------------------------------------------------------------
+
+class DocumentHandle:
+    """A worker-side stand-in for the publisher's ``XMLDocument``.
+
+    The matchers only ever use the document as a cache key for
+    :func:`~repro.xml.columnar.columnar`; the handle provides exactly
+    that — a weakref-able identity with a ``version`` — so the attached
+    view installs into the regular columnar cache and every algorithm
+    resolves it transparently.
+    """
+
+    __slots__ = ("version", "__weakref__")
+
+    def __init__(self) -> None:
+        self.version = 0
+
+    def __repr__(self) -> str:
+        return "DocumentHandle(shared-memory attachment)"
+
+
+class NodeStub:
+    """A lazy node adapter over the attached columns.
+
+    Presents the ``XMLNode`` surface result handling reads — ``start``,
+    ``end``, ``level``, ``tag`` and the pre-parsed ``value`` — by
+    indexing the view's buffers on demand. Stubs are created only for
+    nodes that appear in solutions, never for the whole document.
+    """
+
+    __slots__ = ("_view", "_nid")
+
+    def __init__(self, view: "ColumnarDocument", nid: int):
+        self._view = view
+        self._nid = nid
+
+    @property
+    def start(self) -> int:
+        """The node's region start label."""
+        return self._view.starts[self._nid]
+
+    @property
+    def end(self) -> int:
+        """The node's region end label."""
+        return self._view.ends[self._nid]
+
+    @property
+    def level(self) -> int:
+        """The node's depth in the document tree."""
+        return self._view.levels[self._nid]
+
+    @property
+    def tag(self) -> str:
+        """The node's tag name, resolved through the shared tag table."""
+        return self._view.tags[self._view.tag_ids[self._nid]]
+
+    @property
+    def value(self):
+        """The node's pre-parsed typed text value."""
+        return self._view.values[self._nid]
+
+    def __repr__(self) -> str:
+        return f"NodeStub(<{self.tag}> start={self.start})"
+
+
+class _LazyNodes:
+    """The attached view's ``nodes`` column: stubs built on access."""
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view: "ColumnarDocument"):
+        self._view = view
+
+    def __getitem__(self, nid: int) -> NodeStub:
+        return NodeStub(self._view, nid)
+
+    def __len__(self) -> int:
+        return self._view.size
+
+
+def publish_document(view: "ColumnarDocument") -> SharedArena:
+    """Publish a columnar view's buffers; returns the owning arena."""
+    buffers: dict[str, array] = {
+        "starts": _as_array(view.starts),
+        "ends": _as_array(view.ends),
+        "levels": _as_array(view.levels),
+        "parents": _as_array(view.parents),
+        "tag_ids": _as_array(view.tag_ids),
+        "path_ids": _as_array(view.path_ids),
+    }
+    tag_offsets = [0]
+    tag_nids: list[int] = []
+    tag_starts: list[int] = []
+    tag_ends: list[int] = []
+    for tid in range(len(view.tags)):
+        tag_nids.extend(view.tag_nids[tid])
+        tag_starts.extend(view.tag_starts[tid])
+        tag_ends.extend(view.tag_ends[tid])
+        tag_offsets.append(len(tag_nids))
+    buffers["tag_nids"] = _as_array(tag_nids)
+    buffers["tag_starts"] = _as_array(tag_starts)
+    buffers["tag_ends"] = _as_array(tag_ends)
+    buffers["tag_offsets"] = _as_array(tag_offsets)
+    path_offsets = [0]
+    path_nids: list[int] = []
+    for nids in view.nids_by_path:
+        path_nids.extend(nids)
+        path_offsets.append(len(path_nids))
+    buffers["path_nids"] = _as_array(path_nids)
+    buffers["path_offsets"] = _as_array(path_offsets)
+    meta = {
+        "kind": "document",
+        "size": view.size,
+        "tags": list(view.tags),
+        "tag_index": dict(view.tag_index),
+        "paths": list(view.paths),
+        "values": list(view.values),
+        "pids_by_last_tag": {tid: list(pids) for tid, pids
+                             in view.pids_by_last_tag.items()},
+    }
+    return SharedArena.publish(buffers, meta)
+
+
+def attach_document(name: str
+                    ) -> "tuple[SharedArena, DocumentHandle, ColumnarDocument]":
+    """Attach a published document; returns (arena, handle, view).
+
+    The view is installed in the columnar cache under the returned
+    handle, so matchers called with the handle resolve it like any
+    document. The caller owns closing the arena when the job ends.
+    """
+    from repro.xml.columnar import ColumnarDocument, install_columnar
+
+    arena = SharedArena.attach(name)
+    meta = arena.meta
+    view = ColumnarDocument.__new__(ColumnarDocument)
+    view.size = meta["size"]
+    view.starts = arena.buffer("starts")
+    view.ends = arena.buffer("ends")
+    view.levels = arena.buffer("levels")
+    view.parents = arena.buffer("parents")
+    view.tag_ids = arena.buffer("tag_ids")
+    view.path_ids = arena.buffer("path_ids")
+    view.values = meta["values"]
+    view.deweys = None  # not shipped; only the update layer reads them
+    view.tags = meta["tags"]
+    view.tag_index = meta["tag_index"]
+    view.paths = meta["paths"]
+    view.path_table = {}  # update-layer interning state; views are frozen
+    offs = arena.buffer("tag_offsets")
+    nids_cat = arena.buffer("tag_nids")
+    starts_cat = arena.buffer("tag_starts")
+    ends_cat = arena.buffer("tag_ends")
+    view.tag_nids = [nids_cat[offs[t]:offs[t + 1]]
+                     for t in range(len(view.tags))]
+    view.tag_starts = [starts_cat[offs[t]:offs[t + 1]]
+                       for t in range(len(view.tags))]
+    view.tag_ends = [ends_cat[offs[t]:offs[t + 1]]
+                     for t in range(len(view.tags))]
+    poffs = arena.buffer("path_offsets")
+    pcat = arena.buffer("path_nids")
+    view.nids_by_path = [pcat[poffs[p]:poffs[p + 1]]
+                         for p in range(len(view.paths))]
+    view.pids_by_last_tag = meta["pids_by_last_tag"]
+    view.nodes = _LazyNodes(view)
+    view.nid_index = {start: nid for nid, start in enumerate(view.starts)}
+    handle = DocumentHandle()
+    install_columnar(handle, view)
+    return arena, handle, view
+
+
+# ---------------------------------------------------------------------------
+# encoded instances
+# ---------------------------------------------------------------------------
+
+def publish_instance(instance: "EncodedInstance",
+                     algorithm: str) -> SharedArena:
+    """Publish an encoded instance's tries as frozen CSR buffers.
+
+    The meta block carries the decode tables and participation map once;
+    for ``xjoin`` it also carries the query and twig-filter objects
+    (callers guarantee the instance is twig-free — validators pin live
+    documents and never serialize).
+    """
+    buffers: dict[str, array] = {}
+    descriptors: list[dict[str, Any]] = []
+    for index, trie in enumerate(instance.tries):
+        layout = freeze_trie(trie)
+        for level, keys in enumerate(layout.levels):
+            buffers[f"t{index}.l{level}"] = _as_array(keys)
+        for level, offsets in enumerate(layout.offsets):
+            if offsets is not None:
+                buffers[f"t{index}.o{level}"] = _as_array(offsets)
+        descriptors.append({"name": trie.name, "order": trie.order,
+                            "size": trie.size, "depth": trie.depth})
+    meta: dict[str, Any] = {
+        "kind": "instance",
+        "name": instance.name,
+        "order": instance.order,
+        "participation": instance.participation,
+        "level_values": instance._level_values,
+        "tries": descriptors,
+    }
+    if algorithm == "xjoin":
+        meta["query"] = instance.query
+        meta["twig_filters"] = instance.twig_filters
+        meta["erase_structural"] = instance.erase_structural
+    return SharedArena.publish(buffers, meta)
+
+
+def attach_instance(name: str) -> "tuple[SharedArena, EncodedInstance]":
+    """Attach a published instance; returns (arena, instance shell).
+
+    Each trie shell's root is a :class:`FrozenTrieNode` over the zero-
+    copy level buffers; the kernels and
+    :func:`~repro.parallel.slicing.sliced_instance` consume it through
+    the same node surface as a built trie.
+    """
+    from repro.engine.encoded import EncodedInstance, EncodedTrie
+
+    arena = SharedArena.attach(name)
+    meta = arena.meta
+    tries = []
+    for index, descriptor in enumerate(meta["tries"]):
+        depth = descriptor["depth"]
+        levels = [arena.buffer(f"t{index}.l{level}")
+                  for level in range(depth)]
+        offsets: "list[Sequence[int] | None]" = [None] + [
+            arena.buffer(f"t{index}.o{level}")
+            for level in range(1, depth)]
+        frozen = FrozenTrie(descriptor["name"], descriptor["order"],
+                            descriptor["size"], levels, offsets)
+        trie = EncodedTrie.__new__(EncodedTrie)
+        trie.name = descriptor["name"]
+        trie.order = tuple(descriptor["order"])
+        trie.size = descriptor["size"]
+        trie.root = frozen.root()
+        trie._typecodes = None  # frozen shells never insert/remove
+        tries.append(trie)
+    instance = EncodedInstance.__new__(EncodedInstance)
+    instance.name = meta["name"]
+    instance.order = tuple(meta["order"])
+    instance.dictionaries = {}
+    instance.tries = tries
+    instance.relations = []
+    instance.query = meta.get("query")
+    instance.twig_filters = meta.get("twig_filters")
+    instance.erase_structural = meta.get("erase_structural", False)
+    instance.participation = meta["participation"]
+    instance._level_values = meta["level_values"]
+    return arena, instance

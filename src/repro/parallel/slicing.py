@@ -66,9 +66,10 @@ def sliced_trie(trie: EncodedTrie, lo: int, hi: int, *,
     clone.name = trie.name
     clone.order = trie.order
     clone.root = root
+    clone._typecodes = getattr(trie, "_typecodes", None)
     # Kernels drive enumeration from the key lists and never read
     # ``size``; keep the parent's value as a documented upper bound.
-    clone.size = trie.size if root.keys else 0
+    clone.size = trie.size if len(root.keys) else 0
     return clone
 
 

@@ -11,8 +11,16 @@ job state travels is the pool's *transport*:
 * ``pickle`` — the job state is serialized **once per worker** (as
   ``Process`` args under a spawn start method; a stripped instance
   with no source relations or value->code maps). The portable path for
-  platforms without ``fork``; twig jobs are excluded — documents are
-  never shipped.
+  relational jobs on platforms without ``fork``; twig jobs are
+  excluded — documents are never shipped;
+* ``shm`` — the parent publishes the job's typed buffers into one
+  shared-memory arena (:mod:`repro.parallel.shm`) and the ``Process``
+  args carry only a ``("twig_shm" | "join_shm", arena_name, ...)``
+  descriptor. :func:`set_shared` materializes the descriptor on
+  arrival: it attaches the arena zero-copy and rewrites the job into
+  the standard ``("twig", ...)`` / ``("join", ...)`` shape, so the
+  morsel runners below never distinguish transports. Zero instance or
+  document pickling per worker, under a spawn start method.
 
 Workers return ``(index, counters, rows)`` per morsel — plain value
 rows, never node objects or tries, so result pickles stay proportional
@@ -38,10 +46,54 @@ _SHARED: tuple | None = None
 #: the only way a worker ever changes jobs.
 _TWIG_STREAMS: "dict | None" = None
 
+#: id(materialized job) -> shared-memory arenas the job attached, so
+#: :func:`release_shared` closes exactly the attachments belonging to
+#: one job (inline runs nest jobs; a global close would release an
+#: outer job's views).
+_JOB_ARENAS: "dict[int, list]" = {}
+
+
+def _materialize(job: tuple) -> tuple:
+    """Resolve a shared-memory descriptor into standard job state.
+
+    Attaches the arena(s) zero-copy and rewrites the descriptor into
+    the plain job tuple the morsel runners dispatch on. The attachments
+    are recorded for :func:`release_shared`.
+    """
+    from repro.parallel import shm
+
+    kind = job[0]
+    if kind == "twig_shm":
+        _kind, arena_name, twig, algorithm = job
+        arena, handle, view = shm.attach_document(arena_name)
+        materialized = ("twig", handle, twig, algorithm, view)
+    elif kind == "join_shm":
+        _kind, arena_name, algorithm = job
+        arena, instance = shm.attach_instance(arena_name)
+        materialized = ("join", instance, algorithm)
+    else:  # pragma: no cover - guarded by the caller
+        return job
+    _JOB_ARENAS[id(materialized)] = [arena]
+    return materialized
+
+
+def release_shared(job: tuple | None) -> None:
+    """Close the shared-memory attachments of one materialized job."""
+    for arena in _JOB_ARENAS.pop(id(job), ()):
+        arena.close()
+
 
 def set_shared(job: tuple | None) -> None:
-    """Install (or clear) the current job state (and its memos)."""
+    """Install (or clear) the current job state (and its memos).
+
+    Shared-memory descriptors (``*_shm`` kinds) are materialized here —
+    the one place every transport funnels through — so the runners only
+    ever see plain job tuples.
+    """
     global _SHARED, _TWIG_STREAMS
+    if job is not None and isinstance(job[0], str) \
+            and job[0].endswith("_shm"):
+        job = _materialize(job)
     _SHARED = job
     _TWIG_STREAMS = None
 
@@ -179,13 +231,17 @@ def worker_loop(kind: str, tasks: Any, results: Any,
     """
     set_shared(shared)
     runner = MORSEL_RUNNERS[kind]
-    while True:
-        item = tasks.get()
-        if item is None:
-            break
-        index, payload = item
-        try:
-            counters, rows = runner(payload)
-            results.put((index, counters, rows))
-        except BaseException:  # noqa: BLE001 - re-raised in the parent
-            results.put((index, None, traceback.format_exc()))
+    try:
+        while True:
+            item = tasks.get()
+            if item is None:
+                break
+            index, payload = item
+            try:
+                counters, rows = runner(payload)
+                results.put((index, counters, rows))
+            except BaseException:  # noqa: BLE001 - re-raised in the parent
+                results.put((index, None, traceback.format_exc()))
+    finally:
+        release_shared(_SHARED)
+        set_shared(None)

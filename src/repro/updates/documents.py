@@ -8,8 +8,12 @@ A :class:`DocumentEditor` is the only sanctioned way to mutate an
   labels on the node objects — a suffix shift plus an ancestor-chain
   fix-up, never a whole-tree re-annotation;
 * splices the same change into the cached
-  :class:`~repro.xml.columnar.ColumnarDocument` arrays (node columns,
-  per-tag postings, per-path node lists) in place;
+  :class:`~repro.xml.columnar.ColumnarDocument` buffers (node columns,
+  per-tag postings, per-path node lists) in place, through the
+  :mod:`repro.buffers.layout` helpers — splices ride the typed arrays'
+  amortized resize, and a label that outgrows a column's typecode comes
+  back as a widened copy, which is why every splice site rebinds the
+  view slot (and any local alias) to the helper's return value;
 * refreshes :class:`~repro.xml.columnar.DocumentStats` from the patched
   arrays (tag and path counts read off the maintained postings — no
   tree walk);
@@ -27,6 +31,8 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 
+from repro.buffers.layout import delete, make, set_at, shift_from, \
+    shift_tail, splice
 from repro.errors import UpdateError
 from repro.updates.delta import (
     SUBTREE_DELETE,
@@ -178,13 +184,13 @@ class DocumentEditor:
         for node in view.nodes[q:]:
             node.start += shift
             node.end += shift
-        starts[q:] = [s + shift for s in starts[q:]]
-        ends[q:] = [e + shift for e in ends[q:]]
+        view.starts = starts = shift_tail(starts, q, shift)
+        ends = shift_tail(ends, q, shift)
         for a in ancestors:
             view.nodes[a].end += shift
-            ends[a] += shift
-        view.parents[q:] = [p + m if p >= q else p
-                            for p in view.parents[q:]]
+            ends = set_at(ends, a, ends[a] + shift)
+        view.ends = ends
+        view.parents = shift_from(view.parents, q, q, m)
 
         # 2. Per-tag postings and per-path node lists: shift entries at
         # nid >= q; fix the ancestors' end entries individually.
@@ -192,19 +198,20 @@ class DocumentEditor:
             nids = view.tag_nids[tid]
             pos = bisect_left(nids, q)
             if pos < len(nids):
-                nids[pos:] = [n + m for n in nids[pos:]]
-                column = view.tag_starts[tid]
-                column[pos:] = [s + shift for s in column[pos:]]
-                column = view.tag_ends[tid]
-                column[pos:] = [e + shift for e in column[pos:]]
+                view.tag_nids[tid] = shift_tail(nids, pos, m)
+                view.tag_starts[tid] = shift_tail(view.tag_starts[tid],
+                                                  pos, shift)
+                view.tag_ends[tid] = shift_tail(view.tag_ends[tid],
+                                                pos, shift)
         for a in ancestors:
             tid = view.tag_ids[a]
             pos = bisect_left(view.tag_nids[tid], a)
-            view.tag_ends[tid][pos] += shift
-        for nids in view.nids_by_path:
+            column = view.tag_ends[tid]
+            view.tag_ends[tid] = set_at(column, pos, column[pos] + shift)
+        for pid, nids in enumerate(view.nids_by_path):
             pos = bisect_left(nids, q)
             if pos < len(nids):
-                nids[pos:] = [n + m for n in nids[pos:]]
+                view.nids_by_path[pid] = shift_tail(nids, pos, m)
 
         # 3. Attach and label the subtree: regions from s0, levels below
         # the parent, Dewey under the parent's label at *index*.
@@ -255,9 +262,10 @@ class DocumentEditor:
             if tid is None:
                 tid = view.tag_index[node.tag] = len(view.tags)
                 view.tags.append(node.tag)
-                view.tag_nids.append([])
-                view.tag_starts.append([])
-                view.tag_ends.append([])
+                # Narrow empties; the splices below widen them to fit.
+                view.tag_nids.append(make("B"))
+                view.tag_starts.append(make("B"))
+                view.tag_ends.append(make("B"))
             sub_tag_ids.append(tid)
             sub_values.append(node.value)
             sub_deweys.append(node.dewey)
@@ -270,20 +278,20 @@ class DocumentEditor:
                 pid = view.path_table[key] = len(view.paths)
                 prefix = view.paths[parent_pid] if parent_pid >= 0 else ()
                 view.paths.append(prefix + (node.tag,))
-                view.nids_by_path.append([])
+                view.nids_by_path.append(make("B"))
                 view.pids_by_last_tag.setdefault(tid, []).append(pid)
             sub_path_ids.append(pid)
             by_tid.setdefault(tid, []).append(nid)
             by_pid.setdefault(pid, []).append(nid)
         view.nodes[q:q] = sub_nodes
-        starts[q:q] = sub_starts
-        ends[q:q] = sub_ends
-        view.levels[q:q] = sub_levels
-        view.parents[q:q] = sub_parents
-        view.tag_ids[q:q] = sub_tag_ids
+        view.starts = starts = splice(starts, q, q, sub_starts)
+        view.ends = ends = splice(ends, q, q, sub_ends)
+        view.levels = splice(view.levels, q, q, sub_levels)
+        view.parents = splice(view.parents, q, q, sub_parents)
+        view.tag_ids = splice(view.tag_ids, q, q, sub_tag_ids)
         view.values[q:q] = sub_values
         view.deweys[q:q] = sub_deweys
-        view.path_ids[q:q] = sub_path_ids
+        view.path_ids = splice(view.path_ids, q, q, sub_path_ids)
         view.size += m
 
         # 5. Insert the new posting/path entries: the new nids form one
@@ -291,13 +299,17 @@ class DocumentEditor:
         for tid, new_nids in by_tid.items():
             nids = view.tag_nids[tid]
             pos = bisect_left(nids, q)
-            nids[pos:pos] = new_nids
-            view.tag_starts[tid][pos:pos] = [starts[n] for n in new_nids]
-            view.tag_ends[tid][pos:pos] = [ends[n] for n in new_nids]
+            view.tag_nids[tid] = splice(nids, pos, pos, new_nids)
+            view.tag_starts[tid] = splice(
+                view.tag_starts[tid], pos, pos,
+                [starts[n] for n in new_nids])
+            view.tag_ends[tid] = splice(
+                view.tag_ends[tid], pos, pos,
+                [ends[n] for n in new_nids])
         for pid, new_nids in by_pid.items():
             nids = view.nids_by_path[pid]
             pos = bisect_left(nids, q)
-            nids[pos:pos] = new_nids
+            view.nids_by_path[pid] = splice(nids, pos, pos, new_nids)
         view.nid_index = {start: nid
                           for nid, start in enumerate(starts)}
 
@@ -348,26 +360,29 @@ class DocumentEditor:
             lo = bisect_left(nids, q)
             hi = bisect_left(nids, q + m, lo)
             if hi > lo:
-                del nids[lo:hi]
-                del view.tag_starts[tid][lo:hi]
-                del view.tag_ends[tid][lo:hi]
+                nids = delete(nids, lo, hi)
+                view.tag_nids[tid] = nids
+                view.tag_starts[tid] = delete(view.tag_starts[tid], lo, hi)
+                view.tag_ends[tid] = delete(view.tag_ends[tid], lo, hi)
             if lo < len(nids):
-                nids[lo:] = [n - m for n in nids[lo:]]
-                column = view.tag_starts[tid]
-                column[lo:] = [s - shift for s in column[lo:]]
-                column = view.tag_ends[tid]
-                column[lo:] = [e - shift for e in column[lo:]]
+                view.tag_nids[tid] = shift_tail(nids, lo, -m)
+                view.tag_starts[tid] = shift_tail(view.tag_starts[tid],
+                                                  lo, -shift)
+                view.tag_ends[tid] = shift_tail(view.tag_ends[tid],
+                                                lo, -shift)
         for a in ancestors:
             tid = view.tag_ids[a]
             pos = bisect_left(view.tag_nids[tid], a)
-            view.tag_ends[tid][pos] -= shift
-        for nids in view.nids_by_path:
+            column = view.tag_ends[tid]
+            view.tag_ends[tid] = set_at(column, pos, column[pos] - shift)
+        for pid, nids in enumerate(view.nids_by_path):
             lo = bisect_left(nids, q)
             hi = bisect_left(nids, q + m, lo)
             if hi > lo:
-                del nids[lo:hi]
+                nids = delete(nids, lo, hi)
+                view.nids_by_path[pid] = nids
             if lo < len(nids):
-                nids[lo:] = [n - m for n in nids[lo:]]
+                view.nids_by_path[pid] = shift_tail(nids, lo, -m)
 
         # 2. Region labels of the survivors.
         for survivor in view.nodes[q + m:]:
@@ -375,22 +390,21 @@ class DocumentEditor:
             survivor.end -= shift
         for a in ancestors:
             view.nodes[a].end -= shift
-            ends[a] -= shift
+            ends = set_at(ends, a, ends[a] - shift)
 
         # 3. Node-level arrays.
         del view.nodes[q:q + m]
-        del starts[q:q + m]
-        starts[q:] = [s - shift for s in starts[q:]]
-        del ends[q:q + m]
-        ends[q:] = [e - shift for e in ends[q:]]
-        del view.levels[q:q + m]
-        del view.parents[q:q + m]
-        view.parents[q:] = [p - m if p >= q + m else p
-                            for p in view.parents[q:]]
-        del view.tag_ids[q:q + m]
+        starts = delete(starts, q, q + m)
+        view.starts = starts = shift_tail(starts, q, -shift)
+        ends = delete(ends, q, q + m)
+        view.ends = ends = shift_tail(ends, q, -shift)
+        view.levels = delete(view.levels, q, q + m)
+        parents = delete(view.parents, q, q + m)
+        view.parents = shift_from(parents, q, q + m, -m)
+        view.tag_ids = delete(view.tag_ids, q, q + m)
         del view.values[q:q + m]
         del view.deweys[q:q + m]
-        del view.path_ids[q:q + m]
+        view.path_ids = delete(view.path_ids, q, q + m)
         view.size -= m
         view.nid_index = {start: nid
                           for nid, start in enumerate(starts)}

@@ -2,14 +2,23 @@
 
 A :class:`ColumnarDocument` is built **once** per document (and cached
 weakref-style, like the engine's relation statistics) and holds the whole
-tree as parallel arrays over dense int node ids — ``starts``, ``ends``,
-``levels``, ``parents``, ``tag_ids``, pre-parsed typed ``values``, Dewey
-labels, and per-tag postings sorted by document order. Every twig
-algorithm (TwigStack, TJFast, PathStack, the structural-join pipeline)
-and XJoin's path-relation gathering run on these arrays: the hot loops
-compare plain ints instead of chasing :class:`~repro.xml.model.XMLNode`
-attributes, streams share the per-tag posting arrays instead of copying
-node lists per query, and seeks are ``bisect`` calls.
+tree as parallel typed buffers over dense int node ids — ``starts``,
+``ends``, ``levels``, ``parents``, ``tag_ids``, pre-parsed typed
+``values``, Dewey labels, and per-tag postings sorted by document order.
+The int columns are packed through :func:`repro.buffers.layout.pack`
+into the narrowest ``array`` typecode their label range needs (signed
+for ``parents``, whose root entry is -1), so a document's index is
+contiguous memory the batch kernels gallop over and the shared-memory
+transport publishes verbatim. Every twig algorithm (TwigStack, TJFast,
+PathStack, the structural-join pipeline) and XJoin's path-relation
+gathering run on these buffers: the hot loops compare plain ints instead
+of chasing :class:`~repro.xml.model.XMLNode` attributes, streams share
+the per-tag posting buffers instead of copying node lists per query, and
+seeks are galloping probes.
+
+Views are **never pickled** (``__reduce__`` raises): the parallel
+transports either fork the address space or publish the buffers once
+through :mod:`repro.parallel.shm` and let workers attach zero-copy.
 
 The root-to-node *tag paths* are interned as dense path ids (the columnar
 analogue of TJFast's extended Dewey labels): two nodes share a path id
@@ -25,10 +34,11 @@ arrays, through the same weakref cache discipline as
 from __future__ import annotations
 
 import weakref
-from bisect import bisect_left
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+from repro.buffers.kernels import gallop
+from repro.buffers.layout import pack
 from repro.relational.schema import Value
 from repro.xml.model import XMLDocument, XMLNode
 from repro.xml.twig import TwigNode
@@ -71,9 +81,9 @@ class TagPosting:
         self.position += 1
 
     def seek_start(self, start: int) -> int:
-        """Jump to the first entry with ``start >= start`` (binary
-        search); returns the number of entries skipped."""
-        position = bisect_left(self.starts, start, self.position)
+        """Jump to the first entry with ``start >= start`` (galloping
+        from the cursor); returns the number of entries skipped."""
+        position = gallop(self.starts, start, self.position)
         skipped = position - self.position
         self.position = position
         return skipped
@@ -160,14 +170,17 @@ class ColumnarDocument:
 
         self.size = len(nodes)
         self.nodes = nodes
-        self.starts = starts
-        self.ends = ends
-        self.levels = levels
-        self.parents = parents
-        self.tag_ids = tag_ids
+        # ends[0] (the root's end) bounds every region label, so the
+        # packers skip their scan; parents packs signed (root is -1).
+        label_hi = ends[0] if ends else 0
+        self.starts = pack(starts, hi=label_hi)
+        self.ends = pack(ends, hi=label_hi)
+        self.levels = pack(levels)
+        self.parents = pack(parents)
+        self.tag_ids = pack(tag_ids, hi=max(len(tags) - 1, 0))
         self.values = values
         self.deweys = deweys
-        self.path_ids = path_ids
+        self.path_ids = pack(path_ids, hi=max(len(paths) - 1, 0))
         self.tags = tags
         self.tag_index = tag_index
         self.paths = paths
@@ -184,10 +197,11 @@ class ColumnarDocument:
             tag_starts[tid].append(starts[nid])
             tag_ends[tid].append(ends[nid])
             nids_by_path[path_ids[nid]].append(nid)
-        self.tag_nids = tag_nids
-        self.tag_starts = tag_starts
-        self.tag_ends = tag_ends
-        self.nids_by_path = nids_by_path
+        nid_hi = max(self.size - 1, 0)
+        self.tag_nids = [pack(n, hi=nid_hi) for n in tag_nids]
+        self.tag_starts = [pack(s, hi=label_hi) for s in tag_starts]
+        self.tag_ends = [pack(e, hi=label_hi) for e in tag_ends]
+        self.nids_by_path = [pack(n, hi=nid_hi) for n in nids_by_path]
         pids_by_last_tag: dict[int, list[int]] = {}
         for (_parent_pid, tid), pid in path_table.items():
             pids_by_last_tag.setdefault(tid, []).append(pid)
@@ -222,13 +236,13 @@ class ColumnarDocument:
         arrays are built for this query.
         """
         nids, starts, ends = self.postings(query_node.tag)
-        if query_node.predicate is not None and nids:
+        if query_node.predicate is not None and len(nids):
             values = self.values
             keep = [i for i, nid in enumerate(nids)
                     if query_node.matches_value(values[nid])]
-            nids = [nids[i] for i in keep]
-            starts = [starts[i] for i in keep]
-            ends = [ends[i] for i in keep]
+            nids = pack([nids[i] for i in keep])
+            starts = pack([starts[i] for i in keep])
+            ends = pack([ends[i] for i in keep])
         return TagPosting(nids, starts, ends, label=query_node.name)
 
     def ancestry(self, nid: int) -> list[int]:
@@ -252,6 +266,20 @@ class ColumnarDocument:
             seen = {values[nid] for nid in self.tag_nids[tid]
                     if query_node.matches_value(values[nid])}
         return len(seen)
+
+    def __reduce__(self):
+        """Columnar views are structurally unpicklable (zero-copy rule).
+
+        Parallel transports must either fork the address space or
+        publish the buffers once via :mod:`repro.parallel.shm` and
+        attach in the worker; serializing a whole view per worker is
+        exactly the cost the buffer layer exists to eliminate, so it
+        fails loudly instead of silently regressing.
+        """
+        raise TypeError(
+            f"{type(self).__name__} is never pickled: publish it through "
+            f"repro.parallel.shm (workers attach zero-copy) or use the "
+            f"'fork' transport")
 
     def __repr__(self) -> str:
         return (f"ColumnarDocument({self.size} nodes, {len(self.tags)} "

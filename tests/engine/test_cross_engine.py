@@ -39,8 +39,8 @@ class TestEncodedTrie:
 
     def test_keys_sorted_per_node(self):
         trie = EncodedTrie("T", ("a", "b"), [(2, 1), (0, 3), (2, 0)])
-        assert trie.root.keys == [0, 2]
-        assert trie.root.children[2].keys == [0, 1]
+        assert list(trie.root.keys) == [0, 2]
+        assert list(trie.root.children[2].keys) == [0, 1]
 
     def test_instance_trie_decodes_back_to_relation(self):
         r = Relation("R", ("a", "b"), [(1, "x"), (2, "y"), (1, "z")])

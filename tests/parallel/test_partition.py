@@ -97,8 +97,8 @@ class TestSlicedViews:
         trie = instance.tries[0]
         lo, hi = trie.root.keys[2], trie.root.keys[5]
         view = sliced_trie(trie, lo, hi)
-        assert view.root.keys == [k for k in trie.root.keys
-                                  if lo <= k < hi]
+        assert list(view.root.keys) == [k for k in trie.root.keys
+                                        if lo <= k < hi]
         assert view.root.children is trie.root.children  # shared
 
     def test_detached_slice_is_self_contained(self):

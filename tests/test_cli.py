@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` demo runner."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -36,6 +38,25 @@ class TestCLI:
         assert "generic_join" in out
         assert "leapfrog" in out
         assert "xjoin" in out
+
+    def test_bench_json_writes_snapshot(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "30", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_engine.json" in out
+        records = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        assert records and all(r["suite"] == "engine" for r in records)
+        workloads = {r["workload"] for r in records}
+        assert {"generic_join", "leapfrog", "xjoin"} <= workloads
+        for record in records:
+            assert set(record) == {"suite", "scenario", "workload",
+                                   "median_ms", "speedup"}
+            assert record["median_ms"] >= 0
+
+    def test_json_flag_rejected_outside_bench(self, capsys):
+        assert main(["selftest", "--json"]) == 2
+        assert "--json" in capsys.readouterr().err
 
     def test_unknown_command_shows_usage(self, capsys):
         assert main(["wat"]) == 2

@@ -48,9 +48,9 @@ class TestArrays:
 
     def test_document_order_and_postings_sorted(self):
         view = columnar(xmark_document(0.05, seed=1))
-        assert view.starts == sorted(view.starts)
+        assert list(view.starts) == sorted(view.starts)
         for tid in range(len(view.tags)):
-            assert view.tag_starts[tid] == sorted(view.tag_starts[tid])
+            assert list(view.tag_starts[tid]) == sorted(view.tag_starts[tid])
             assert len(view.tag_nids[tid]) == len(view.tag_starts[tid]) \
                 == len(view.tag_ends[tid])
 

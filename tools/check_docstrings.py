@@ -31,6 +31,7 @@ from pathlib import Path
 
 #: The packages whose public APIs must be documented.
 DEFAULT_SCOPE = [
+    "src/repro/buffers",
     "src/repro/engine",
     "src/repro/updates",
     "src/repro/parallel",
