@@ -1,0 +1,52 @@
+"""The multi-tenant query service under a live update stream.
+
+The service suite (shared with ``python -m repro bench --suite service``
+through :mod:`repro.service.bench`) measures what the MVCC layer buys:
+the price of a *consistent* read while a writer keeps superseding state.
+Each measured cycle is pin -> snapshot query -> release over real TCP,
+with a background writer streaming relational + XML update batches for
+the whole run.
+
+Gates are correctness-shaped, not speed-shaped (wall-clock throughput
+depends on the host): every client count must complete its full query
+budget, the writer must land batches *during* the measurement (otherwise
+the run proved nothing about concurrency), and tail latency must stay
+within an order of magnitude of the median — a p99/p50 blowup is how a
+torn pin or an accidental full-rebuild per read would surface here.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.service.bench import ServiceBenchResult, run_service_bench
+
+#: p99 may exceed p50 by at most this factor (generous: scheduling
+#: jitter under 16 clients on one core is real; a rebuild-per-read
+#: regression is 100x+).
+TAIL_FACTOR = 25.0
+
+
+def _report(results: "list[ServiceBenchResult]") -> None:
+    rows = [[str(result.clients), f"{result.qps:.1f}",
+             f"{result.p50_ms:.2f}ms", f"{result.p99_ms:.2f}ms",
+             str(result.queries), str(result.batches)]
+            for result in results]
+    report_table(f"Service: snapshot reads under writes "
+                 f"({results[0].corpus})",
+                 ["clients", "q/s", "p50", "p99", "queries", "batches"],
+                 rows)
+
+
+def test_service_throughput_and_tail_latency():
+    """1/4/16 clients: full budgets, live writer, bounded tail."""
+    results = run_service_bench(queries_per_client=12)
+    _report(results)
+    for result in results:
+        assert result.queries == result.clients * 12, \
+            f"{result.clients} clients: completed only {result.queries}"
+        assert result.batches > 0, \
+            f"{result.clients} clients: the writer never landed a batch"
+        assert result.p99_ms <= result.p50_ms * TAIL_FACTOR, (
+            f"{result.clients} clients: p99 {result.p99_ms:.2f}ms blew "
+            f"past {TAIL_FACTOR:g}x p50 {result.p50_ms:.2f}ms")

@@ -12,7 +12,12 @@ Commands:
   ``--suite parallel`` races the partition-parallel executor against
   serial execution; ``--suite buffers`` races the batch buffer kernels
   against the list-based leapfrog and the shm spawn transport against
-  serial twig matching)
+  serial twig matching; ``--suite service`` measures the multi-tenant
+  query service — queries/sec and p50/p99 snapshot-read latency at
+  1/4/16 concurrent clients under a background update stream)
+* ``serve`` — host a corpus behind the line-JSON query service
+  (``docs/service.md``): TCP by default (``--port 0`` prints the
+  kernel-chosen port), ``--stdio`` for a pipe transport
 * ``selftest`` — a quick cross-algorithm consistency check
 
 Options:
@@ -23,11 +28,18 @@ Options:
   multi-model scenarios. Applies to ``figure3``, ``bench`` and
   ``selftest``.
 * ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig``,
-  ``updates``, ``parallel`` or ``buffers``.
+  ``updates``, ``parallel``, ``buffers`` or ``service``.
 * ``--workers N`` — worker processes for partition-parallel execution
   (default 0 = serial). ``bench --suite parallel`` races serial against
   this pool size; ``selftest`` additionally checks parallel/serial
-  parity for every registered algorithm.
+  parity for every registered algorithm; ``serve`` offloads heavy
+  queries to this pool.
+* ``--corpus SPEC`` — ``serve``: the hosted corpus, e.g. ``figure1``
+  (default), ``bookstore:orders=40,users=12`` or ``triangle:n=8``.
+* ``--host H`` / ``--port P`` — ``serve``: TCP bind address (default
+  ``127.0.0.1``, port 0 = kernel-chosen, printed on startup).
+* ``--stdio`` — ``serve``: speak the protocol over stdin/stdout
+  instead of TCP.
 * ``--json`` — with ``bench``: also write ``BENCH_<suite>.json`` in the
   current directory, one record per timed workload with ``suite``,
   ``scenario``, ``workload``, ``median_ms`` and ``speedup`` (``null``
@@ -326,6 +338,58 @@ def cmd_bench_buffers(n: int = 3000, records: list | None = None) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench_service(n: int = 12, records: list | None = None) -> int:
+    """Measure the multi-tenant query service (shared with
+    ``benchmarks/bench_service.py`` through :mod:`repro.service.bench`):
+    queries/sec and p50/p99 latency of the full pin -> snapshot query ->
+    release cycle at each client count, while one background writer
+    streams update batches for the whole run."""
+    from repro.service.bench import run_service_bench
+
+    results = run_service_bench(queries_per_client=max(n, 4))
+    print("service suite: pin -> snapshot query -> release under a live "
+          "writer (fresh server per client count):")
+    for result in results:
+        print(f"  {result.clients:>2} client(s)  {result.qps:8.1f} q/s   "
+              f"p50 {result.p50_ms:7.2f}ms   p99 {result.p99_ms:7.2f}ms   "
+              f"({result.queries} queries, {result.batches} update "
+              "batches)")
+        if records is not None:
+            # Base keys match every other suite; qps/p99_ms ride along.
+            records.append({
+                "scenario": result.corpus,
+                "workload": f"{result.clients} clients",
+                "median_ms": round(result.p50_ms, 3),
+                "speedup": None,
+                "qps": round(result.qps, 1),
+                "p99_ms": round(result.p99_ms, 3)})
+    return 0
+
+
+def cmd_serve(corpus: str, host: str, port: int, stdio: bool,
+              workers: int = 0) -> int:
+    """Host *corpus* behind the line-JSON query service until EOF /
+    a ``shutdown`` request / Ctrl-C (protocol: ``docs/service.md``)."""
+    import asyncio
+
+    from repro.errors import ServiceError
+    from repro.service.server import ReproService
+
+    try:
+        service = ReproService(corpus, workers=workers)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if stdio:
+            asyncio.run(service.serve_stdio())
+        else:
+            asyncio.run(service.serve_tcp(host=host, port=port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_selftest(twig_algorithm: str | None = None,
                  workers: int = 0) -> int:
     from repro.data.random_instances import random_multimodel_instance
@@ -419,6 +483,10 @@ def main(argv: list[str] | None = None) -> int:
         twig_algorithm = _extract_option(args, "--twig-algorithm")
         suite = _extract_option(args, "--suite")
         workers_option = _extract_option(args, "--workers")
+        corpus = _extract_option(args, "--corpus")
+        host = _extract_option(args, "--host")
+        port_option = _extract_option(args, "--port")
+        stdio = _extract_flag(args, "--stdio")
         emit_json = _extract_flag(args, "--json")
     except _BadArgument:
         return 2
@@ -431,6 +499,15 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"error: bad value for --workers: {exc}", file=sys.stderr)
             return 2
+    port = 0
+    if port_option is not None:
+        try:
+            port = int(port_option)
+            if not 0 <= port <= 65535:
+                raise ValueError("must be in 0..65535")
+        except ValueError as exc:
+            print(f"error: bad value for --port: {exc}", file=sys.stderr)
+            return 2
     if twig_algorithm is not None:
         from repro.xml.interface import available_twig_algorithms
 
@@ -440,15 +517,20 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
     command = args[0] if args else "figure1"
-    if workers and not (command == "selftest"
+    if workers and not (command in ("selftest", "serve")
                         or (command == "bench" and suite == "parallel")):
         # Never let --workers be parsed and then silently ignored: only
-        # the parallel bench suite and selftest consume it.
-        print("error: --workers applies to 'bench --suite parallel' and "
-              "'selftest' only", file=sys.stderr)
+        # the parallel bench suite, selftest and serve consume it.
+        print("error: --workers applies to 'bench --suite parallel', "
+              "'selftest' and 'serve' only", file=sys.stderr)
         return 2
     if emit_json and command != "bench":
         print("error: --json applies to 'bench' only", file=sys.stderr)
+        return 2
+    if command != "serve" and (corpus is not None or host is not None
+                               or port_option is not None or stdio):
+        print("error: --corpus/--host/--port/--stdio apply to 'serve' "
+              "only", file=sys.stderr)
         return 2
     try:
         if command == "figure1":
@@ -459,7 +541,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_figure3(_int_argument(command, args, 6),
                                twig_algorithm)
         if command == "bench":
-            suites = ("engine", "twig", "updates", "parallel", "buffers")
+            suites = ("engine", "twig", "updates", "parallel", "buffers",
+                      "service")
             if suite not in (None,) + suites:
                 print(f"error: unknown bench suite {suite!r}; choose from "
                       f"{list(suites)!r}", file=sys.stderr)
@@ -479,6 +562,9 @@ def main(argv: list[str] | None = None) -> int:
             elif suite == "buffers":
                 rc = cmd_bench_buffers(_int_argument(command, args, 3000),
                                        records)
+            elif suite == "service":
+                rc = cmd_bench_service(_int_argument(command, args, 12),
+                                       records)
             elif suite == "twig":
                 rc = cmd_bench_twig(_int_argument(command, args, 150),
                                     twig_algorithm, records)
@@ -488,6 +574,9 @@ def main(argv: list[str] | None = None) -> int:
             if rc == 0 and records is not None:
                 _write_bench_json(suite or "engine", records)
             return rc
+        if command == "serve":
+            return cmd_serve(corpus or "figure1", host or "127.0.0.1",
+                             port, stdio, workers)
         if command == "selftest":
             return cmd_selftest(twig_algorithm, workers)
     except _BadArgument:

@@ -67,3 +67,21 @@ class TransportError(EngineError):
 class UpdateError(ReproError):
     """An update is invalid (unknown input, foreign node, deleting the
     document root, row/arity mismatch, ...)."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot is misused (read after release, double release, a
+    pinned version whose artifact was never preserved, ...)."""
+
+
+class ServiceError(ReproError):
+    """A service request is invalid or cannot be admitted.
+
+    ``code`` is the wire-level error code (``bad_request``, ``quota``,
+    ``backpressure``, ``unknown_session``, ...) echoed to clients by the
+    line-JSON protocol (:mod:`repro.service.protocol`).
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code

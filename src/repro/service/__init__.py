@@ -1,0 +1,49 @@
+"""Multi-tenant query service over the MVCC snapshot layer.
+
+``python -m repro serve`` hosts one corpus (a named multi-model query
+instance, see :func:`~repro.service.corpus.corpus_query`) behind a
+line-JSON protocol (one JSON object per ``\\n``-terminated line, over
+TCP or stdin). The moving parts:
+
+* :class:`~repro.service.server.ReproService` — the asyncio server. One
+  *master* :class:`~repro.updates.session.QuerySession` holds the
+  corpus's current state; every client session gets a private
+  ``QuerySession`` over cloned documents (one writer may never patch a
+  tree another session's maintained answers walk), synchronized by
+  broadcasting each update batch to the master and every open session
+  in one synchronous step — so a pin always lands on a batch boundary
+  and no snapshot ever observes a torn batch.
+* a **single-writer queue** — all updates funnel through one bounded
+  asyncio queue and one writer task; a full queue surfaces as a
+  ``backpressure`` error instead of unbounded memory growth.
+* :class:`~repro.service.tenancy.SessionManager` — per-tenant session
+  and snapshot accounting against a :class:`~repro.service.tenancy.
+  TenantQuota` (``quota`` errors, never silent eviction of another
+  tenant's state).
+* :class:`~repro.service.cache.PlanCache` — a shared plan cache with
+  frequency-based admission (one-hit wonders never displace residents).
+* **snapshot reads** — ``pin`` takes an MVCC snapshot
+  (:mod:`repro.mvcc`) of the client's session; ``query`` against it is
+  answered at the pinned version vector no matter how many batches have
+  landed since. Heavy snapshot queries are detached (all artifacts
+  frozen) and offloaded to a worker thread, optionally fanning out
+  through the partition-parallel executor.
+
+See ``docs/service.md`` for the protocol reference and lifecycle rules.
+"""
+
+from repro.service.cache import PlanCache
+from repro.service.client import ServiceClient
+from repro.service.corpus import available_corpora, corpus_query
+from repro.service.server import ReproService
+from repro.service.tenancy import SessionManager, TenantQuota
+
+__all__ = [
+    "PlanCache",
+    "ReproService",
+    "ServiceClient",
+    "SessionManager",
+    "TenantQuota",
+    "available_corpora",
+    "corpus_query",
+]

@@ -1,0 +1,143 @@
+"""Service benchmark: throughput and tail latency under a live writer.
+
+The scenario mirrors the acceptance setup: an in-process
+:class:`~repro.service.server.ReproService` on a loopback TCP port, N
+concurrent clients each looping *pin → snapshot query → release* in its
+own tenant, and one background writer streaming small update batches
+(relational inserts/deletes with an XML value edit interleaved) for the
+whole run. Reported per client count: queries/sec over the wall clock
+and the p50/p99 latency of the full pin+query+release cycle — the price
+of a consistent read under write pressure, which is exactly what the
+MVCC layer is supposed to keep flat.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.service.client import ServiceClient
+from repro.service.corpus import corpus_query
+from repro.service.server import ReproService
+from repro.service.tenancy import TenantQuota
+
+#: Client counts benchmarked by ``bench --suite service``.
+DEFAULT_CLIENT_COUNTS = (1, 4, 16)
+
+
+@dataclass(frozen=True)
+class ServiceBenchResult:
+    """One client-count measurement."""
+
+    corpus: str
+    clients: int
+    queries: int
+    batches: int
+    qps: float
+    p50_ms: float
+    p99_ms: float
+
+
+def _percentile(samples: "list[float]", fraction: float) -> float:
+    """The nearest-rank percentile of *samples* (which must be non-empty)."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _writer_ops(query, step: int) -> "list[dict]":
+    """One small deterministic update batch against *query*'s inputs."""
+    relation = query.relations[0]
+    row = [900_000 + step, step % 7] if relation.schema.arity == 2 else [
+        900_000 + step for _ in range(relation.schema.arity)]
+    ops: "list[dict]" = [
+        {"kind": "insert", "relation": relation.name, "row": row}
+        if step % 2 == 0 else
+        {"kind": "delete", "relation": relation.name,
+         "row": [900_000 + step - 1, (step - 1) % 7]
+         if relation.schema.arity == 2
+         else [900_000 + step - 1 for _ in range(relation.schema.arity)]},
+    ]
+    if query.twigs and step % 3 == 0:
+        # The root's first child always carries start label 1 (canonical
+        # contiguous pre-order), so this edit stays valid forever.
+        ops.append({"kind": "change_value", "input": query.twigs[0].name,
+                    "start": 1, "text": str(step % 5)})
+    return ops
+
+
+async def _writer_loop(host: str, port: int, query,
+                       stop: asyncio.Event, applied: "list[int]") -> None:
+    """Stream update batches until *stop*; counts batches in *applied*."""
+    client = await ServiceClient.connect(host, port)
+    try:
+        step = 0
+        while not stop.is_set():
+            step += 1
+            await client.update("bench-writer", _writer_ops(query, step))
+            applied[0] += 1
+    finally:
+        await client.aclose()
+
+
+async def _reader_loop(host: str, port: int, tenant: str,
+                       queries: int, latencies: "list[float]") -> None:
+    """One client: *queries* rounds of pin -> snapshot query -> release."""
+    client = await ServiceClient.connect(host, port)
+    try:
+        sid = await client.open(tenant)
+        for _ in range(queries):
+            begin = time.perf_counter()
+            pinned = await client.pin(tenant, sid)
+            await client.query(tenant, sid, snapshot=pinned["snapshot"])
+            await client.release(tenant, sid, pinned["snapshot"])
+            latencies.append((time.perf_counter() - begin) * 1e3)
+        await client.close(tenant, sid)
+    finally:
+        await client.aclose()
+
+
+async def _bench_one(corpus: str, clients: int,
+                     queries_per_client: int) -> ServiceBenchResult:
+    service = ReproService(
+        corpus, queue_limit=64,
+        quota=TenantQuota(max_sessions=4, max_snapshots=8,
+                          max_pending_updates=128))
+    server = await asyncio.start_server(service._serve_connection,
+                                        "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    stop = asyncio.Event()
+    applied = [0]
+    template = corpus_query(corpus)
+    writer = asyncio.ensure_future(
+        _writer_loop("127.0.0.1", port, template, stop, applied))
+    latencies: "list[float]" = []
+    begin = time.perf_counter()
+    await asyncio.gather(*(
+        _reader_loop("127.0.0.1", port, f"tenant-{index}",
+                     queries_per_client, latencies)
+        for index in range(clients)))
+    wall = time.perf_counter() - begin
+    stop.set()
+    await writer
+    await service.aclose()
+    server.close()
+    await server.wait_closed()
+    return ServiceBenchResult(
+        corpus=corpus, clients=clients, queries=len(latencies),
+        batches=applied[0],
+        qps=len(latencies) / max(wall, 1e-9),
+        p50_ms=_percentile(latencies, 0.50),
+        p99_ms=_percentile(latencies, 0.99))
+
+
+def run_service_bench(*, corpus: str = "bookstore:orders=30,users=10",
+                      client_counts: "tuple[int, ...]"
+                      = DEFAULT_CLIENT_COUNTS,
+                      queries_per_client: int = 12
+                      ) -> "list[ServiceBenchResult]":
+    """Benchmark the service at each client count (fresh server per run)."""
+    return [asyncio.run(_bench_one(corpus, clients, queries_per_client))
+            for clients in client_counts]

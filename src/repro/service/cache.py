@@ -1,0 +1,102 @@
+"""A shared plan cache with frequency-based admission control.
+
+Plans are cheap to hold and moderately expensive to derive (order
+policy, domain estimates, twig matcher choice per binding), and a
+multi-tenant service replans the same (corpus version, options) key once
+per client without this cache. Capacity is bounded two ways:
+
+* **LRU eviction** over admitted entries, and
+* **admission control**: a key is only admitted once it has been
+  *requested* at least ``admission_threshold`` times (tracked in a small
+  bounded sketch), so a stream of one-off keys — e.g. every version of a
+  rapidly-updated session appearing exactly once — churns the sketch,
+  never the cache residents. This is the classic TinyLFU-style doorkeeper
+  reduced to its essence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class PlanCache:
+    """Bounded LRU mapping with a request-frequency admission gate."""
+
+    def __init__(self, capacity: int = 64, *,
+                 admission_threshold: int = 2,
+                 sketch_capacity: int | None = None):
+        if capacity < 1:
+            raise ValueError("PlanCache capacity must be >= 1")
+        self.capacity = capacity
+        #: Requests a key needs before :meth:`put` admits it.
+        self.admission_threshold = max(1, admission_threshold)
+        #: Bound on the frequency sketch (default: 8x the cache).
+        self.sketch_capacity = sketch_capacity or 8 * capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._seen: "OrderedDict[Hashable, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.evictions = 0
+
+    def _note(self, key: Hashable) -> int:
+        """Count one request for *key* in the bounded sketch."""
+        count = self._seen.pop(key, 0) + 1
+        self._seen[key] = count  # re-append: sketch eviction is LRU too
+        while len(self._seen) > self.sketch_capacity:
+            self._seen.popitem(last=False)
+        return count
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for *key* (None on miss); counts the request."""
+        self._note(key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Offer (*key*, *value*); returns True if admitted.
+
+        A key below the admission threshold is rejected (the caller
+        keeps its freshly computed value; only the cache stays clean).
+        An admitted key evicts the least-recently-used resident when
+        the cache is full.
+        """
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return True
+        if self._seen.get(key, 0) < self.admission_threshold:
+            self.rejected += 1
+            return False
+        self._entries[key] = value
+        self.admitted += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for the service's ``stats`` endpoint."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (f"PlanCache({len(self._entries)}/{self.capacity}, "
+                f"{self.hits} hits, {self.misses} misses)")

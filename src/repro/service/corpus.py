@@ -1,0 +1,82 @@
+"""Named corpora: the instances ``repro serve`` can host.
+
+A corpus *spec* is a name with optional ``key=value`` parameters —
+``figure1``, ``bookstore:orders=40,users=12``, ``triangle:n=8`` — and
+resolves to a freshly built
+:class:`~repro.core.multimodel.MultiModelQuery`. Every resolution builds
+new objects (fresh relations, fresh documents), so two services — or a
+service and its test oracle — hosting the same spec start from
+byte-identical but fully independent state.
+"""
+
+from __future__ import annotations
+
+from repro.core.multimodel import MultiModelQuery
+from repro.data.scenarios import bookstore_instance, figure1_query
+from repro.data.synthetic import agm_tight_triangle
+from repro.errors import ServiceError
+
+
+def _parse_spec(spec: str) -> tuple[str, dict[str, int]]:
+    """Split ``name:key=value,...`` into a name and int parameters."""
+    name, _, tail = spec.partition(":")
+    parameters: dict[str, int] = {}
+    if tail:
+        for part in tail.split(","):
+            key, separator, value = part.partition("=")
+            if not separator or not key:
+                raise ServiceError(
+                    "bad_request",
+                    f"malformed corpus parameter {part!r} in {spec!r} "
+                    f"(expected key=value)")
+            try:
+                parameters[key.strip()] = int(value)
+            except ValueError:
+                raise ServiceError(
+                    "bad_request",
+                    f"corpus parameter {key!r} in {spec!r} must be an "
+                    f"integer, got {value!r}") from None
+    return name.strip(), parameters
+
+
+def _take(parameters: dict[str, int], key: str, default: int) -> int:
+    return parameters.pop(key, default)
+
+
+def corpus_query(spec: str) -> MultiModelQuery:
+    """Build the multi-model query instance named by *spec*.
+
+    Supported specs (all parameters optional):
+
+    * ``figure1`` — the paper's Figure 1 micro-instance.
+    * ``bookstore[:orders=N,users=M,seed=S]`` — the scaled bookstore
+      scenario (defaults ``orders=40``, ``users=12``, ``seed=0``).
+    * ``triangle[:n=N]`` — the AGM-tight relational triangle
+      (default ``n=8``; no documents, relational updates only).
+    """
+    name, parameters = _parse_spec(spec)
+    if name == "figure1":
+        query = figure1_query()
+    elif name == "bookstore":
+        orders = _take(parameters, "orders", 40)
+        users = _take(parameters, "users", 12)
+        seed = _take(parameters, "seed", 0)
+        query = bookstore_instance(orders, users, seed=seed)
+    elif name == "triangle":
+        n = _take(parameters, "n", 8)
+        query = MultiModelQuery(agm_tight_triangle(n), [], name="triangle")
+    else:
+        raise ServiceError(
+            "bad_request",
+            f"unknown corpus {name!r}; choose from {available_corpora()!r}")
+    if parameters:
+        raise ServiceError(
+            "bad_request",
+            f"unknown corpus parameter(s) {sorted(parameters)!r} "
+            f"for corpus {name!r}")
+    return query
+
+
+def available_corpora() -> list[str]:
+    """The corpus names :func:`corpus_query` accepts."""
+    return ["bookstore", "figure1", "triangle"]

@@ -1,0 +1,145 @@
+"""The service's wire protocol: one JSON object per line.
+
+Requests and responses are UTF-8 JSON objects terminated by ``\\n`` —
+trivially speakable from any language, ``nc``, or a shell loop. A
+request carries an ``op`` (see :data:`OPERATIONS`) and an optional
+``id`` the response echoes back, so clients may pipeline. A response is
+either ``{"id": ..., "ok": true, ...fields}`` or
+``{"id": ..., "ok": false, "error": code, "message": text}`` with
+*code* from :class:`~repro.errors.ServiceError` (``bad_request``,
+``quota``, ``backpressure``, ``unknown_session``, ``unknown_snapshot``,
+``internal``).
+
+Update batches are lists of operation objects:
+
+* ``{"kind": "insert"|"delete", "relation": R, "row": [...]}``
+* ``{"kind": "insert_subtree", "input": T, "parent_start": S,
+  "xml": "<e>...</e>", "index": I?}``
+* ``{"kind": "delete_subtree", "input": T, "start": S}``
+* ``{"kind": "change_value", "input": T, "start": S, "text": "..."}``
+
+Document nodes are addressed by their region ``start`` label: the delta
+layer keeps region labelings canonical (contiguous pre-order), so the
+same label names the corresponding node in the master state and in
+every session's private clone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ServiceError
+
+#: Every operation the service understands.
+OPERATIONS = frozenset({
+    "ping", "corpus", "open", "close", "pin", "release",
+    "query", "update", "stats", "shutdown",
+})
+
+#: Update-operation kinds within an ``update`` batch.
+UPDATE_KINDS = frozenset({
+    "insert", "delete", "insert_subtree", "delete_subtree", "change_value",
+})
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message to a ``\\n``-terminated line."""
+    return (json.dumps(message, separators=(",", ":"),
+                       ensure_ascii=False) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one line into a message dict (ServiceError ``bad_request``
+    on invalid JSON or a non-object payload)."""
+    try:
+        message = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ServiceError("bad_request",
+                           f"invalid JSON line: {error}") from None
+    if not isinstance(message, dict):
+        raise ServiceError(
+            "bad_request",
+            f"a request must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def validate_request(message: dict[str, Any]) -> str:
+    """Check the ``op`` field; returns it (ServiceError otherwise)."""
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ServiceError("bad_request", "request is missing a string 'op'")
+    if op not in OPERATIONS:
+        raise ServiceError(
+            "bad_request",
+            f"unknown op {op!r}; choose from {sorted(OPERATIONS)!r}")
+    return op
+
+
+def require_field(message: dict[str, Any], field: str,
+                  kind: type = str) -> Any:
+    """One mandatory, type-checked request field."""
+    value = message.get(field)
+    if not isinstance(value, kind) or (kind is int
+                                       and isinstance(value, bool)):
+        raise ServiceError(
+            "bad_request",
+            f"request field {field!r} must be a {kind.__name__}, "
+            f"got {value!r}")
+    return value
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict[str, Any]:
+    """A success envelope echoing the request ``id``."""
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(request_id: Any, error: Exception) -> dict[str, Any]:
+    """A failure envelope; non-:class:`ServiceError`\\ s map to
+    ``internal`` (the message is preserved, the traceback is not)."""
+    if isinstance(error, ServiceError):
+        code = error.code
+    else:
+        code = "internal"
+    return {"id": request_id, "ok": False, "error": code,
+            "message": str(error)}
+
+
+def rows_to_wire(rows: Any) -> list[list[Any]]:
+    """A relation's row set as sorted JSON-ready lists (deterministic
+    order, so byte-comparing two answers is meaningful)."""
+    return [list(row) for row in sorted(rows)]
+
+
+def validate_update_ops(ops: Any) -> list[dict[str, Any]]:
+    """Check an ``update`` request's batch shape (not its semantics —
+    unknown relations/nodes surface as ``update`` errors at apply time)."""
+    if not isinstance(ops, list) or not ops:
+        raise ServiceError("bad_request",
+                           "'ops' must be a non-empty list of operations")
+    for op in ops:
+        if not isinstance(op, dict):
+            raise ServiceError("bad_request",
+                               f"update operation must be an object, "
+                               f"got {op!r}")
+        kind = op.get("kind")
+        if kind not in UPDATE_KINDS:
+            raise ServiceError(
+                "bad_request",
+                f"unknown update kind {kind!r}; "
+                f"choose from {sorted(UPDATE_KINDS)!r}")
+        if kind in ("insert", "delete"):
+            require_field(op, "relation", str)
+            require_field(op, "row", list)
+        elif kind == "insert_subtree":
+            require_field(op, "input", str)
+            require_field(op, "parent_start", int)
+            require_field(op, "xml", str)
+        elif kind == "delete_subtree":
+            require_field(op, "input", str)
+            require_field(op, "start", int)
+        else:  # change_value
+            require_field(op, "input", str)
+            require_field(op, "start", int)
+            require_field(op, "text", str)
+    return ops

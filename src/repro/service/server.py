@@ -1,0 +1,507 @@
+"""The asyncio query service: snapshot reads under a single writer.
+
+One :class:`ReproService` hosts one corpus. Consistency comes from three
+structural rules, not from locks:
+
+1. **Private trees per session.** A :class:`~repro.updates.session.
+   QuerySession`'s editors patch documents *in place*; sharing one tree
+   between sessions would let one client's write corrupt another's
+   maintained twig answers mid-read. So every session owns clones of the
+   corpus documents (immutable relations are shared), all built with
+   canonical labels, and the service keeps them synchronized by applying
+   every update batch to the master and to every open session.
+2. **Atomic batches.** A batch is validated against the master, then
+   applied to all sessions in one synchronous step of the single writer
+   task — no ``await`` between the first and last mutation. Snapshots
+   are pinned between steps of the event loop, so a pin always observes
+   a whole number of batches: torn reads are impossible by construction.
+3. **Detach before offload.** A query may only leave the event-loop
+   thread once its snapshot is *detached* (every pinned document frozen
+   into a clone, every relation an immutable retained object) and its
+   inputs are resolved; the worker thread then races nothing.
+
+The writer queue is bounded: when producers outrun the writer the
+service answers ``backpressure`` instead of buffering without limit, and
+per-tenant ``pending_updates`` quotas stop one tenant from filling the
+shared queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Any
+
+from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.engine.planner import plan_query, run_query
+from repro.errors import ReproError, ServiceError
+from repro.relational.relation import Relation
+from repro.service.cache import PlanCache
+from repro.service.corpus import corpus_query
+from repro.service.protocol import (
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    require_field,
+    rows_to_wire,
+    validate_request,
+    validate_update_ops,
+)
+from repro.service.tenancy import SessionManager, SessionState, TenantQuota
+from repro.updates.session import QuerySession
+from repro.xml.model import XMLDocument
+from repro.xml.parser import parse_element_tree
+
+
+class ReproService:
+    """One corpus, many tenants, one writer, snapshot-consistent reads."""
+
+    def __init__(self, corpus: "str | MultiModelQuery" = "figure1", *,
+                 quota: TenantQuota | None = None,
+                 queue_limit: int = 32,
+                 offload_threshold: int = 4096,
+                 workers: int = 0,
+                 plan_cache: PlanCache | None = None):
+        if isinstance(corpus, str):
+            self.corpus_spec = corpus
+            query = corpus_query(corpus)
+        else:
+            self.corpus_spec = corpus.name
+            query = corpus
+        #: The corpus's current state (and the write path's oracle).
+        self.master = QuerySession(query)
+        self.sessions = SessionManager(quota)
+        self.plan_cache = plan_cache or PlanCache()
+        self.queue_limit = queue_limit
+        #: Input-size floor (rows + nodes) above which a detached
+        #: snapshot query is evaluated off the event-loop thread.
+        self.offload_threshold = offload_threshold
+        #: Worker processes for offloaded queries (0 = in-thread).
+        self.workers = workers
+        #: Whole update batches applied since startup; every snapshot
+        #: records the value at pin time, so clients can correlate an
+        #: answer with the exact prefix of the update stream it reflects.
+        self.batches_applied = 0
+        self.updates_applied = 0
+        self.queries_served = 0
+        self.offloaded_queries = 0
+        self._queue: "asyncio.Queue | None" = None
+        self._writer_task: "asyncio.Task | None" = None
+        self._shutdown_event: "asyncio.Event | None" = None
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _shutdown(self) -> asyncio.Event:
+        if self._shutdown_event is None:
+            self._shutdown_event = asyncio.Event()
+        return self._shutdown_event
+
+    def _ensure_writer(self) -> asyncio.Queue:
+        """The single-writer queue (task spawned on first update)."""
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self.queue_limit)
+            self._writer_task = asyncio.get_running_loop().create_task(
+                self._writer_loop())
+        return self._queue
+
+    async def _writer_loop(self) -> None:
+        """Drain the update queue, one atomic batch per step."""
+        assert self._queue is not None
+        while True:
+            ops, tenant, future = await self._queue.get()
+            try:
+                if not future.cancelled():
+                    future.set_result(self._apply_batch(ops))
+            except Exception as error:  # surfaced to the one requester
+                if not future.cancelled():
+                    future.set_exception(error)
+            finally:
+                tenant.pending_updates -= 1
+                self._queue.task_done()
+
+    async def aclose(self) -> None:
+        """Release every session and stop the writer task."""
+        self._closing = True
+        for state in self.sessions.all_states():
+            state.release_all()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+            self._writer_task = None
+        self._shutdown().set()
+
+    # -- session construction ----------------------------------------------
+
+    def _open_session(self) -> QuerySession:
+        """A private session over the corpus's *current* state.
+
+        Relations are immutable and shared with the master; documents
+        are cloned (fresh canonical labels — identical to the master's,
+        which the delta layer keeps canonical across patches).
+        """
+        master = self.master
+        relations = [master.relations[relation.name].relation
+                     for relation in master.query.relations]
+        clones: dict[int, XMLDocument] = {}
+        twigs = []
+        for binding in master.query.twigs:
+            clone = clones.get(id(binding.document))
+            if clone is None:
+                clone = XMLDocument(binding.document.root.copy())
+                clones[id(binding.document)] = clone
+            twigs.append(TwigBinding(binding.twig, clone))
+        return QuerySession(MultiModelQuery(relations, twigs,
+                                            name=master.query.name))
+
+    # -- the update path ---------------------------------------------------
+
+    def _resolve_document_op(self, session: QuerySession,
+                             op: dict[str, Any]):
+        """(document, node) for one document-addressing operation."""
+        document = session.document_of(op["input"])
+        start = op.get("parent_start", op.get("start"))
+        node = document.node_by_start(start)
+        if node is None:
+            raise ServiceError(
+                "update",
+                f"input {op['input']!r} has no node with start label "
+                f"{start} at the current version")
+        return document, node
+
+    def _validate_batch(self, ops: list[dict[str, Any]]) -> None:
+        """All-or-nothing gate: check every op against the master state.
+
+        Sessions are synchronized with the master batch-for-batch and
+        labelings are canonical, so master-validity implies validity in
+        every session — a batch either applies everywhere or nowhere.
+        """
+        master = self.master
+        for op in ops:
+            kind = op["kind"]
+            if kind in ("insert", "delete"):
+                versioned = master.relations.get(op["relation"])
+                if versioned is None:
+                    raise ServiceError(
+                        "update",
+                        f"unknown relation {op['relation']!r}; choose "
+                        f"from {sorted(master.relations)!r}")
+                if len(op["row"]) != versioned.relation.schema.arity:
+                    raise ServiceError(
+                        "update",
+                        f"relation {op['relation']!r} has arity "
+                        f"{versioned.relation.schema.arity}, row "
+                        f"{op['row']!r} has {len(op['row'])}")
+                continue
+            if op["input"] not in master.answers:
+                raise ServiceError(
+                    "update",
+                    f"unknown twig input {op['input']!r}; choose from "
+                    f"{sorted(master.answers)!r}")
+            _document, node = self._resolve_document_op(master, op)
+            if kind == "insert_subtree":
+                try:
+                    parse_element_tree(op["xml"])
+                except ReproError as error:
+                    raise ServiceError(
+                        "update", f"invalid subtree XML: {error}") from None
+                index = op.get("index")
+                if index is not None and not (
+                        isinstance(index, int)
+                        and 0 <= index <= len(node.children)):
+                    raise ServiceError(
+                        "update",
+                        f"insert index {index!r} out of range for a node "
+                        f"with {len(node.children)} children")
+            elif kind == "delete_subtree" and node.parent is None:
+                raise ServiceError("update",
+                                   "cannot delete the document root")
+
+    def _apply_op(self, session: QuerySession, op: dict[str, Any]) -> None:
+        """Apply one validated operation to one session."""
+        kind = op["kind"]
+        if kind == "insert":
+            session.insert(op["relation"], tuple(op["row"]))
+        elif kind == "delete":
+            session.delete(op["relation"], tuple(op["row"]))
+        elif kind == "insert_subtree":
+            _document, parent = self._resolve_document_op(session, op)
+            session.insert_subtree(op["input"], parent,
+                                   parse_element_tree(op["xml"]),
+                                   index=op.get("index"))
+        elif kind == "delete_subtree":
+            _document, node = self._resolve_document_op(session, op)
+            session.delete_subtree(op["input"], node)
+        else:  # change_value
+            _document, node = self._resolve_document_op(session, op)
+            session.change_value(op["input"], node, op["text"])
+
+    def _apply_batch(self, ops: list[dict[str, Any]]) -> int:
+        """Validate, then apply one batch everywhere. Fully synchronous:
+        between the first and last mutation no coroutine runs, so every
+        pin (and every read) sees a whole number of batches."""
+        self._validate_batch(ops)
+        targets = [self.master] + [state.session
+                                   for state in self.sessions.all_states()]
+        for op in ops:
+            for session in targets:
+                self._apply_op(session, op)
+        self.batches_applied += 1
+        self.updates_applied += len(ops)
+        return self.batches_applied
+
+    # -- the read path -----------------------------------------------------
+
+    def _plan_for(self, query: MultiModelQuery, batches: int,
+                  algorithm: "str | None",
+                  order: "str | tuple | None") -> tuple[str, tuple]:
+        """(algorithm, order) via the shared plan cache.
+
+        Keyed by (corpus, batch count, overrides): any two sessions at
+        the same batch count hold identical logical state, so their
+        plans are interchangeable — including across tenants, which is
+        what makes the cache worth sharing.
+        """
+        order_key = tuple(order) if isinstance(order, list) else order
+        key = (self.corpus_spec, batches, algorithm, order_key)
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            return cached
+        plan = plan_query(query, algorithm=algorithm, order=order)
+        resolved = (plan.algorithm, plan.order)
+        self.plan_cache.put(key, resolved)
+        return resolved
+
+    def _query_cost(self, query: MultiModelQuery) -> int:
+        """A cheap input-size proxy deciding thread offload."""
+        return (sum(len(relation) for relation in query.relations)
+                + sum(binding.document.size() for binding in query.twigs))
+
+    async def _evaluate_snapshot(self, state: SessionState,
+                                 snapshot_id: str,
+                                 message: dict[str, Any]) -> dict[str, Any]:
+        snapshot = state.snapshots.get(snapshot_id)
+        if snapshot is None:
+            raise ServiceError(
+                "unknown_snapshot",
+                f"session {state.sid!r} has no snapshot {snapshot_id!r}")
+        batches = snapshot.metadata.get("batches", 0)
+        algorithm = message.get("algorithm")
+        order = message.get("order")
+        if not (message.get("evaluate") or algorithm or order):
+            relation = snapshot.answer()
+            return {"rows": rows_to_wire(relation.rows),
+                    "attributes": list(relation.schema.attributes),
+                    "version": snapshot.version, "batches": batches,
+                    "mode": "answer"}
+        # Resolve inputs and plan on the loop thread; offload only once
+        # the snapshot no longer touches anything the writer mutates.
+        snapshot.detach()
+        query = snapshot.query()
+        algorithm, order = self._plan_for(query, batches, algorithm, order)
+        if self._query_cost(query) >= self.offload_threshold:
+            self.offloaded_queries += 1
+            relation = await asyncio.to_thread(
+                run_query, query, algorithm=algorithm, order=order,
+                workers=self.workers)
+            offloaded = True
+        else:
+            relation = run_query(query, algorithm=algorithm, order=order)
+            offloaded = False
+        return {"rows": rows_to_wire(relation.rows),
+                "attributes": list(relation.schema.attributes),
+                "version": snapshot.version, "batches": batches,
+                "mode": "run", "algorithm": algorithm,
+                "offloaded": offloaded}
+
+    def _evaluate_live(self, state: SessionState,
+                       message: dict[str, Any]) -> dict[str, Any]:
+        session = state.session
+        if message.get("evaluate") or message.get("algorithm"):
+            relation = session.run(message.get("algorithm"))
+            mode = "run"
+        else:
+            relation = session.answer()
+            mode = "answer"
+        return {"rows": rows_to_wire(relation.rows),
+                "attributes": list(relation.schema.attributes),
+                "version": session.version,
+                "batches": self.batches_applied, "mode": mode}
+
+    # -- request dispatch --------------------------------------------------
+
+    async def handle_request(self, message: dict[str, Any]
+                             ) -> dict[str, Any]:
+        """One request in, one response envelope out (never raises)."""
+        request_id = message.get("id")
+        try:
+            op = validate_request(message)
+            handler = getattr(self, f"_op_{op}")
+            fields = await handler(message)
+            return ok_response(request_id, **fields)
+        except Exception as error:  # noqa: BLE001 — becomes the envelope
+            return error_response(request_id, error)
+
+    async def handle_line(self, line: "bytes | str") -> bytes:
+        """One wire line in, one encoded response line out."""
+        try:
+            message = decode_message(line)
+        except ServiceError as error:
+            return encode_message(error_response(None, error))
+        return encode_message(await self.handle_request(message))
+
+    # Each _op_* returns the success-envelope fields for one operation.
+
+    async def _op_ping(self, message: dict[str, Any]) -> dict[str, Any]:
+        return {"pong": True, "batches": self.batches_applied}
+
+    async def _op_corpus(self, message: dict[str, Any]) -> dict[str, Any]:
+        master = self.master
+        return {
+            "corpus": self.corpus_spec,
+            "attributes": list(master.query.attributes),
+            "relations": {name: len(versioned.relation)
+                          for name, versioned in master.relations.items()},
+            "inputs": {name: answer.document.size() if hasattr(
+                answer, "document") else 0
+                for name, answer in master.answers.items()},
+            "batches": self.batches_applied,
+        }
+
+    async def _op_open(self, message: dict[str, Any]) -> dict[str, Any]:
+        tenant = require_field(message, "tenant", str)
+        state = self.sessions.admit_session(tenant, self._open_session())
+        return {"session": state.sid, "version": state.session.version,
+                "batches": self.batches_applied}
+
+    async def _op_close(self, message: dict[str, Any]) -> dict[str, Any]:
+        tenant = require_field(message, "tenant", str)
+        sid = require_field(message, "session", str)
+        self.sessions.close_session(tenant, sid)
+        return {"closed": sid}
+
+    async def _op_pin(self, message: dict[str, Any]) -> dict[str, Any]:
+        tenant = require_field(message, "tenant", str)
+        sid = require_field(message, "session", str)
+        state = self.sessions.state(tenant, sid)
+        self.sessions.admit_snapshot(state)
+        snapshot = state.session.pin()
+        snapshot.metadata["batches"] = self.batches_applied
+        snapshot_id = state.register_snapshot(snapshot)
+        return {"snapshot": snapshot_id, "version": snapshot.version,
+                "batches": self.batches_applied}
+
+    async def _op_release(self, message: dict[str, Any]) -> dict[str, Any]:
+        tenant = require_field(message, "tenant", str)
+        sid = require_field(message, "session", str)
+        snapshot_id = require_field(message, "snapshot", str)
+        state = self.sessions.state(tenant, sid)
+        snapshot = state.snapshots.pop(snapshot_id, None)
+        if snapshot is None:
+            raise ServiceError(
+                "unknown_snapshot",
+                f"session {sid!r} has no snapshot {snapshot_id!r}")
+        snapshot.release()
+        return {"released": snapshot_id}
+
+    async def _op_query(self, message: dict[str, Any]) -> dict[str, Any]:
+        tenant = require_field(message, "tenant", str)
+        sid = require_field(message, "session", str)
+        state = self.sessions.state(tenant, sid)
+        self.queries_served += 1
+        snapshot_id = message.get("snapshot")
+        if snapshot_id is not None:
+            return await self._evaluate_snapshot(state, snapshot_id,
+                                                 message)
+        return self._evaluate_live(state, message)
+
+    async def _op_update(self, message: dict[str, Any]) -> dict[str, Any]:
+        tenant_name = require_field(message, "tenant", str)
+        ops = validate_update_ops(message.get("ops"))
+        queue = self._ensure_writer()
+        tenant = self.sessions.admit_update(tenant_name)
+        future = asyncio.get_running_loop().create_future()
+        try:
+            queue.put_nowait((ops, tenant, future))
+        except asyncio.QueueFull:
+            tenant.pending_updates -= 1
+            raise ServiceError(
+                "backpressure",
+                f"the update queue is full ({self.queue_limit} batches); "
+                f"retry after in-flight updates drain") from None
+        batches = await future
+        return {"applied": len(ops), "batches": batches}
+
+    async def _op_stats(self, message: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "corpus": self.corpus_spec,
+            "batches": self.batches_applied,
+            "updates": self.updates_applied,
+            "queries": self.queries_served,
+            "offloaded": self.offloaded_queries,
+            "queue_depth": (self._queue.qsize()
+                            if self._queue is not None else 0),
+            "tenants": self.sessions.counts(),
+            "plan_cache": self.plan_cache.stats(),
+        }
+
+    async def _op_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
+        await self.aclose()
+        return {"bye": True}
+
+    # -- transports --------------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """One TCP client: a line in, a line out, until EOF or shutdown."""
+        try:
+            while not self._closing:
+                line = await reader.readline()
+                if not line:
+                    break
+                writer.write(await self.handle_line(line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def serve_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> None:
+        """Serve line-JSON over TCP until a ``shutdown`` request.
+
+        With ``port=0`` the kernel picks a free port; the actual one is
+        printed as ``repro serve: listening on HOST:PORT`` (machine-
+        readable — the CI smoke step and the bench harness parse it).
+        """
+        server = await asyncio.start_server(self._serve_connection,
+                                            host, port)
+        actual_port = server.sockets[0].getsockname()[1]
+        print(f"repro serve: listening on {host}:{actual_port}",
+              flush=True)
+        async with server:
+            await self._shutdown().wait()
+
+    async def serve_stdio(self) -> None:
+        """Serve line-JSON on stdin/stdout until EOF or ``shutdown``."""
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            line = await loop.run_in_executor(None, sys.stdin.readline)
+            if not line:
+                await self.aclose()
+                break
+            sys.stdout.buffer.write(await self.handle_line(line))
+            sys.stdout.buffer.flush()
+
+    def __repr__(self) -> str:
+        return (f"ReproService({self.corpus_spec!r}, "
+                f"{len(self.sessions.all_states())} sessions, "
+                f"{self.batches_applied} batches)")

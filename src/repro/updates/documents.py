@@ -65,8 +65,20 @@ class DocumentEditor:
         self.log: list[DocumentDelta] = []
         self.patches = 0
         self.rebuilds = 0
+        #: Optional write-barrier, called with the document *before* the
+        #: first mutation of every edit (labels, arrays and tree still in
+        #: the pre-edit state). The MVCC layer
+        #: (:class:`~repro.mvcc.manager.SnapshotManager`) hooks in here
+        #: to freeze a clone of any version a snapshot still pins.
+        self.on_before_change = None
 
     # -- helpers -----------------------------------------------------------
+
+    def _notify_before_change(self) -> None:
+        """Run the write-barrier; the edit's validations have passed and
+        no state — tree, labels, columnar arrays — is mutated yet."""
+        if self.on_before_change is not None:
+            self.on_before_change(self.document)
 
     def _nid_of(self, view: ColumnarDocument, node: XMLNode) -> int:
         nid = (view.nid_index.get(node.start)
@@ -129,6 +141,7 @@ class DocumentEditor:
         view = columnar(self.document)
         nid = self._nid_of(view, node)
         start = node.start
+        self._notify_before_change()
         node.text = text
         view.values[nid] = node.value
         return self._finish(VALUE_CHANGE, 1, start, rebuilt=False, view=view)
@@ -159,6 +172,7 @@ class DocumentEditor:
                 f"with {len(parent.children)} children")
         sub_nodes = list(subtree.iter())  # pre-order
         m = len(sub_nodes)
+        self._notify_before_change()
         if self._should_rebuild(m):
             subtree.parent = parent
             parent.children.insert(index, subtree)
@@ -342,6 +356,7 @@ class DocumentEditor:
         s0 = node.start
         assert s0 is not None
         parent = node.parent
+        self._notify_before_change()
         if self._should_rebuild(m):
             parent.children.remove(node)
             node.parent = None

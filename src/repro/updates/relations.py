@@ -31,6 +31,11 @@ class VersionedRelation:
     def __init__(self, relation: Relation):
         self.relation = relation
         self.version = 0
+        #: Optional :class:`~repro.mvcc.chain.VersionChain` (set by a
+        #: :class:`~repro.mvcc.manager.SnapshotManager`): when a snapshot
+        #: pins the current version, the write path retains the
+        #: superseded Relation object there instead of releasing it.
+        self.chain = None
         self.log: list[RelationDelta] = []
         #: attribute -> value -> occurrence count, maintained per delta.
         self._frequencies: dict[str, dict[Value, int]] = {
@@ -114,10 +119,15 @@ class VersionedRelation:
                 frequency[value] = frequency.get(value, 0) + 1
 
         self._stats = None
-        # The superseded Relation object's cached stats are released
-        # explicitly (not left to weakref death), and the new object's
-        # cache entry is seeded from the maintained frequencies.
-        invalidate_relation_stats(previous)
+        # The superseded Relation object is either retained — a snapshot
+        # pins its version, so it must stay readable (with its installed
+        # stats) until the pin is released — or its cached stats are
+        # released explicitly (not left to weakref death). Either way the
+        # new object's cache entry is seeded from maintained frequencies.
+        if self.chain is not None and self.chain.pinned(self.version - 1):
+            self.chain.retain(self.version - 1, previous)
+        else:
+            invalidate_relation_stats(previous)
         install_relation_stats(self.relation, self.stats())
         return delta
 

@@ -31,8 +31,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.multimodel import MultiModelQuery
-from repro.engine.planner import refresh_query_statistics, run_query
+from repro.engine.planner import choose_algorithm, \
+    refresh_query_statistics, run_query
 from repro.errors import UpdateError
+from repro.mvcc import Snapshot, SnapshotManager
 from repro.parallel.answers import PartitionedAnswer
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, Value
@@ -88,6 +90,10 @@ class QuerySession:
             run_query(query, workers=self.workers).rows,
             partitions=self.workers if self.workers > 1 else 1)
         self._answer: Relation | None = None
+        #: The MVCC layer over this session's inputs: hooks the
+        #: relations' and editors' write paths so superseded versions a
+        #: snapshot pins are preserved instead of reclaimed.
+        self.mvcc = SnapshotManager(self)
 
     # -- current inputs ----------------------------------------------------
 
@@ -140,6 +146,17 @@ class QuerySession:
                 f"unknown twig input {twig_name!r}; "
                 f"choose from {sorted(self._editor_of)!r}")
         return editor
+
+    def document_of(self, twig_name: str):
+        """The :class:`~repro.xml.model.XMLDocument` bound to the named
+        twig input.
+
+        The query service resolves wire-level node addresses (region
+        ``start`` labels) against this document before routing an edit
+        through :meth:`insert_subtree` / :meth:`delete_subtree` /
+        :meth:`change_value`.
+        """
+        return self._binding_editor(twig_name).document
 
     def _document_edit(self, editor: DocumentEditor, *,
                        before_anchor: XMLNode,
@@ -286,10 +303,34 @@ class QuerySession:
                                     self._result_rows.rows())
         return self._answer
 
-    def run(self, algorithm: str = "generic_join") -> Relation:
+    def pin(self) -> Snapshot:
+        """Pin a consistent snapshot of the current version vector.
+
+        O(1): the snapshot borrows the live objects and the maintained
+        answer; nothing is copied unless (until) a later update
+        supersedes a version the snapshot still pins. Release it (or use
+        it as a context manager) to let the MVCC layer reclaim.
+        """
+        return self.mvcc.pin()
+
+    def planned_algorithm(self) -> str:
+        """The planner's kernel choice for the relationalized instance.
+
+        The maintained instance is purely relational (relations ⋈ twig
+        answers), so :func:`~repro.engine.planner.choose_algorithm` over
+        the relationalized view always yields a relational kernel.
+        """
+        return choose_algorithm(
+            MultiModelQuery(self._inputs(), [], name=self.query.name))
+
+    def run(self, algorithm: str | None = None) -> Relation:
         """Run a relational kernel over the maintained encoded instance
         (the relationalized view: relations ⋈ twig answers), decoded and
-        projected like :func:`~repro.engine.planner.run_query`."""
+        projected like :func:`~repro.engine.planner.run_query`. With no
+        explicit *algorithm* the planner's choice
+        (:meth:`planned_algorithm`) is used, not a hard-coded kernel."""
+        if algorithm is None:
+            algorithm = self.planned_algorithm()
         result = self.instance.run(algorithm)
         if result.schema.attributes != self._attributes:
             result = result.project(self._attributes, name=self.query.name)

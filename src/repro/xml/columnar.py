@@ -302,12 +302,57 @@ _COLUMNAR_LATEST: "dict[int, int]" = {}
 _STATS_CACHE: "dict[tuple[int, int], tuple[weakref.ref, DocumentStats]]" = {}
 _STATS_LATEST: "dict[int, int]" = {}
 
+#: (id(document), version) -> pin count. A pinned entry survives both
+#: the eager supersede-eviction in :func:`_install` and an explicit
+#: :func:`invalidate_document_caches`; it is purged when the last pin is
+#: released (the MVCC watermark advancing past it). Only *frozen*
+#: documents — the snapshot layer's clones, which no editor will ever
+#: patch — may be pinned: a live document's superseded entry aliases the
+#: in-place-mutated view and MUST stay eagerly evicted.
+_PINNED_VERSIONS: "dict[tuple[int, int], int]" = {}
+
+
+def pin_document_version(document: XMLDocument,
+                         version: int | None = None) -> None:
+    """Keep *document*'s cache entries at *version* (default: current)
+    resident across supersession and explicit invalidation.
+
+    Pin only frozen documents (see :data:`_PINNED_VERSIONS`); the MVCC
+    layer (:mod:`repro.mvcc`) pins each retained clone exactly once.
+    """
+    key = (id(document), document.version if version is None else version)
+    _PINNED_VERSIONS[key] = _PINNED_VERSIONS.get(key, 0) + 1
+
+
+def release_document_version(document: XMLDocument,
+                             version: int | None = None) -> None:
+    """Drop one pin; at zero pins a *superseded* entry is purged.
+
+    An entry still at the document's cached latest version stays under
+    the normal weakref discipline — only entries that outlived their
+    version solely because of the pin are reclaimed here. Unbalanced
+    releases are ignored (idempotent teardown).
+    """
+    key = (id(document), document.version if version is None else version)
+    count = _PINNED_VERSIONS.get(key)
+    if count is None:
+        return
+    if count > 1:
+        _PINNED_VERSIONS[key] = count - 1
+        return
+    del _PINNED_VERSIONS[key]
+    for cache, latest in ((_COLUMNAR_CACHE, _COLUMNAR_LATEST),
+                          (_STATS_CACHE, _STATS_LATEST)):
+        if latest.get(key[0]) != key[1]:
+            cache.pop(key, None)
+
 
 def _install(document: XMLDocument, cache: dict, latest: dict, value):
     ident = id(document)
     version = getattr(document, "version", 0)
     previous = latest.get(ident)
-    if previous is not None and previous != version:
+    if previous is not None and previous != version \
+            and (ident, previous) not in _PINNED_VERSIONS:
         cache.pop((ident, previous), None)
     key = (ident, version)
 
@@ -426,11 +471,19 @@ def invalidate_document_caches(document: XMLDocument) -> None:
 
     The update layer calls this on its rebuild fallback instead of
     relying solely on weakref death (or on the version-keyed lookup
-    missing) to release superseded entries.
+    missing) to release superseded entries. Pinned entries (see
+    :func:`pin_document_version`) survive: they are reclaimed when the
+    last pin is released, not before — closing the read-after-evict
+    window where a snapshot still pinning the version would otherwise
+    pay a rebuild against a reclaimed (or, worse, reassigned) entry.
     """
     ident = id(document)
     for cache, latest in ((_COLUMNAR_CACHE, _COLUMNAR_LATEST),
                           (_STATS_CACHE, _STATS_LATEST)):
-        version = latest.pop(ident, None)
-        if version is not None:
-            cache.pop((ident, version), None)
+        version = latest.get(ident)
+        if version is None:
+            continue
+        if (ident, version) in _PINNED_VERSIONS:
+            continue
+        del latest[ident]
+        cache.pop((ident, version), None)

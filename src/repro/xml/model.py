@@ -191,6 +191,23 @@ class XMLDocument:
     def tag_count(self, tag: str) -> int:
         return len(self._by_tag.get(tag, ()))
 
+    def node_by_start(self, start: int) -> XMLNode | None:
+        """The node whose region ``start`` label equals *start*, or None.
+
+        Start labels identify nodes uniquely within a version, and the
+        delta layer's patches keep the labeling canonical (contiguous
+        pre-order), so the same label addresses the corresponding node
+        in any rebuild or clone of the same logical version — the query
+        service's wire-level node addressing relies on exactly this.
+        """
+        from bisect import bisect_left
+
+        nodes = self._by_start
+        position = bisect_left(nodes, start, key=lambda node: node.start)
+        if position < len(nodes) and nodes[position].start == start:
+            return nodes[position]
+        return None
+
     def size(self) -> int:
         """Total number of elements."""
         return len(self._by_start)

@@ -1,0 +1,108 @@
+"""The read-after-evict regression: pinned versions stay cache-resident.
+
+Before the MVCC layer, a superseded document version's columnar view and
+stats were evicted eagerly (one live entry per document). A snapshot
+still pinning that version would then re-enter the cache build path
+against an object whose entries had just been reclaimed — paying a full
+rebuild per read, or (with an id-keyed cache and a collected clone)
+reading a reassigned entry. These tests pin through the real session
+API and watch the cache internals, in the style of
+``tests/updates/test_columnar_cache.py``.
+"""
+
+from __future__ import annotations
+
+from repro.data.scenarios import figure1_query
+from repro.updates.session import QuerySession
+from repro.xml.columnar import (
+    _COLUMNAR_CACHE,
+    _PINNED_VERSIONS,
+    _STATS_CACHE,
+    columnar,
+    document_stats,
+    invalidate_document_caches,
+)
+
+
+def cache_keys(document) -> "set[tuple[int, int]]":
+    return {key for key in _COLUMNAR_CACHE if key[0] == id(document)} \
+        | {key for key in _STATS_CACHE if key[0] == id(document)}
+
+
+class TestPinnedCloneRetention:
+    def test_frozen_clone_entries_survive_invalidation(self):
+        session = QuerySession(figure1_query())
+        snapshot = session.pin()
+        document = session.document_of("invoices")
+        session.change_value("invoices", document.nodes("price")[0], "1")
+        clone = snapshot.document(id(document))
+        assert clone is not document
+        view = columnar(clone)
+        stats = document_stats(clone)
+        # The window: an explicit invalidation (e.g. a rebuild fallback
+        # elsewhere) must not reclaim the pinned clone's entries.
+        invalidate_document_caches(clone)
+        assert columnar(clone) is view
+        assert document_stats(clone) is stats
+        snapshot.release()
+
+    def test_release_reclaims_the_clone_entries(self):
+        session = QuerySession(figure1_query())
+        snapshot = session.pin()
+        document = session.document_of("invoices")
+        session.change_value("invoices", document.nodes("price")[0], "2")
+        clone = snapshot.document(id(document))
+        columnar(clone)
+        document_stats(clone)
+        ident, version = id(clone), clone.version
+        assert (ident, version) in _PINNED_VERSIONS
+        snapshot.release()
+        assert (ident, version) not in _PINNED_VERSIONS
+        assert not cache_keys(clone)
+
+    def test_shared_clone_stays_until_the_last_pin(self):
+        session = QuerySession(figure1_query())
+        first = session.pin()
+        second = session.pin()
+        document = session.document_of("invoices")
+        session.change_value("invoices", document.nodes("price")[0], "3")
+        clone = first.document(id(document))
+        assert second.document(id(document)) is clone
+        columnar(clone)
+        first.release()
+        # Second snapshot still pins the version: entries resident.
+        assert cache_keys(clone)
+        assert second.document(id(document)) is clone
+        second.release()
+        assert not cache_keys(clone)
+
+    def test_live_document_keeps_eager_eviction(self):
+        """The guard-rail: only frozen clones are pinned, so the live
+        document's superseded entries (which alias the in-place-patched
+        view) are still evicted eagerly — one live entry per document."""
+        session = QuerySession(figure1_query())
+        document = session.document_of("invoices")
+        for step in range(3):
+            session.change_value("invoices",
+                                 document.nodes("price")[0], str(step))
+        keys = cache_keys(document)
+        assert keys == {(id(document), document.version)}
+        assert not [key for key in _PINNED_VERSIONS
+                    if key[0] == id(document)]
+
+    def test_snapshot_reads_stay_cheap_after_writer_churn(self):
+        """Reading a pinned snapshot repeatedly must reuse one frozen
+        view — the cache entry is built once per (clone, version), not
+        once per read, even while the writer keeps superseding."""
+        session = QuerySession(figure1_query())
+        snapshot = session.pin()
+        document = session.document_of("invoices")
+        for step in range(3):
+            session.change_value("invoices",
+                                 document.nodes("price")[0], str(step))
+        clone = snapshot.document(id(document))
+        first_view = columnar(clone)
+        for _ in range(3):
+            assert snapshot.document(id(document)) is clone
+            assert columnar(clone) is first_view
+        snapshot.release()

@@ -1,0 +1,100 @@
+"""VersionChain semantics: pins, watermark, retention, reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.mvcc import VersionChain
+
+
+class TestPinning:
+    def test_pin_counts_per_version(self):
+        chain = VersionChain("r")
+        assert chain.pin(3) == 1
+        assert chain.pin(3) == 2
+        assert chain.pin(5) == 1
+        assert chain.pin_count() == 3
+        assert chain.pinned(3) and chain.pinned(5)
+        assert not chain.pinned(4)
+
+    def test_release_decrements_then_clears(self):
+        chain = VersionChain("r")
+        chain.pin(3)
+        chain.pin(3)
+        chain.release(3)
+        assert chain.pinned(3)
+        chain.release(3)
+        assert not chain.pinned(3)
+        assert chain.pin_count() == 0
+
+    def test_release_without_pin_is_an_error(self):
+        chain = VersionChain("r")
+        with pytest.raises(SnapshotError, match="holds no pin"):
+            chain.release(7)
+        chain.pin(7)
+        chain.release(7)
+        with pytest.raises(SnapshotError, match="holds no pin"):
+            chain.release(7)
+
+    def test_watermark_is_oldest_pin(self):
+        chain = VersionChain("r")
+        assert chain.watermark() is None
+        chain.pin(9)
+        chain.pin(4)
+        chain.pin(6)
+        assert chain.watermark() == 4
+        chain.release(4)
+        assert chain.watermark() == 6
+        chain.release(6)
+        chain.release(9)
+        assert chain.watermark() is None
+
+
+class TestRetention:
+    def test_artifact_round_trip(self):
+        chain = VersionChain("r")
+        chain.pin(2)
+        chain.retain(2, "frozen@2")
+        assert chain.artifact(2) == "frozen@2"
+        assert chain.artifact(3) is None
+        assert chain.retained_versions() == (2,)
+
+    def test_first_retention_wins(self):
+        chain = VersionChain("r")
+        chain.pin(2)
+        assert chain.retain(2, "first") == "first"
+        assert chain.retain(2, "second") == "first"
+        assert chain.artifact(2) == "first"
+
+    def test_release_reclaims_unpinned_artifacts(self):
+        reclaimed = []
+        chain = VersionChain("r", reclaim=reclaimed.append)
+        chain.pin(1)
+        chain.pin(2)
+        chain.retain(1, "a1")
+        chain.retain(2, "a2")
+        chain.release(1)
+        assert reclaimed == ["a1"]
+        assert chain.retained_versions() == (2,)
+        chain.release(2)
+        assert reclaimed == ["a1", "a2"]
+        assert chain.retained_versions() == ()
+
+    def test_artifact_survives_while_any_pin_lives(self):
+        reclaimed = []
+        chain = VersionChain("r", reclaim=reclaimed.append)
+        chain.pin(1)
+        chain.pin(1)
+        chain.retain(1, "shared")
+        chain.release(1)
+        assert chain.artifact(1) == "shared" and not reclaimed
+        chain.release(1)
+        assert chain.artifact(1) is None and reclaimed == ["shared"]
+
+    def test_reclaim_unpinned_is_explicit_watermark_advance(self):
+        reclaimed = []
+        chain = VersionChain("r", reclaim=reclaimed.append)
+        chain.retain(1, "orphan")  # retained without a pin (defensive)
+        chain.reclaim_unpinned()
+        assert reclaimed == ["orphan"]

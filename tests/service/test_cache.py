@@ -1,0 +1,85 @@
+"""PlanCache: LRU bounds plus TinyLFU-style admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import PlanCache
+
+
+class TestAdmission:
+    def test_one_off_keys_never_enter_the_cache(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("k") is None
+        assert cache.put("k", "plan") is False
+        assert len(cache) == 0
+        assert cache.rejected == 1
+
+    def test_second_request_admits(self):
+        cache = PlanCache(capacity=4)
+        cache.get("k")
+        cache.put("k", "plan")          # first sighting: rejected
+        cache.get("k")                  # second request
+        assert cache.put("k", "plan") is True
+        assert cache.get("k") == "plan"
+        assert cache.hits == 1
+
+    def test_resident_keys_update_in_place(self):
+        cache = PlanCache(capacity=4, admission_threshold=1)
+        cache.get("k")
+        cache.put("k", "old")
+        assert cache.put("k", "new") is True  # no admission re-check
+        assert cache.get("k") == "new"
+
+    def test_scan_resistance(self):
+        """A stream of one-off keys churns the sketch, not the cache."""
+        cache = PlanCache(capacity=2, sketch_capacity=8)
+        for key in ("hot1", "hot2"):
+            cache.get(key)
+            cache.get(key)
+            cache.put(key, key.upper())
+        for step in range(50):  # the scan: every key seen exactly once
+            key = f"scan-{step}"
+            cache.get(key)
+            cache.put(key, "noise")
+        assert cache.get("hot1") == "HOT1"
+        assert cache.get("hot2") == "HOT2"
+        assert len(cache) == 2
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self):
+        cache = PlanCache(capacity=2, admission_threshold=1)
+        for key in ("a", "b", "c"):
+            cache.get(key)
+            cache.put(key, key)
+        assert cache.get("a") is None   # oldest resident evicted
+        assert cache.get("b") == "b"
+        assert cache.get("c") == "c"
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2, admission_threshold=1)
+        for key in ("a", "b"):
+            cache.get(key)
+            cache.put(key, key)
+        cache.get("a")                  # a is now most recent
+        cache.get("c")
+        cache.put("c", "c")
+        assert cache.get("a") == "a"
+        assert cache.get("b") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+def test_stats_shape():
+    cache = PlanCache(capacity=4)
+    cache.get("k")
+    cache.put("k", "v")
+    stats = cache.stats()
+    assert stats["size"] == 0 and stats["capacity"] == 4
+    assert stats["misses"] == 1 and stats["rejected"] == 1
+    assert set(stats) == {"size", "capacity", "hits", "misses",
+                          "admitted", "rejected", "evictions"}

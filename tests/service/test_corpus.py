@@ -1,0 +1,53 @@
+"""Corpus spec parsing and independent-state guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.corpus import available_corpora, corpus_query
+
+
+class TestSpecs:
+    def test_figure1(self):
+        query = corpus_query("figure1")
+        assert [r.name for r in query.relations] == ["R"]
+        assert [b.name for b in query.twigs] == ["invoices"]
+
+    def test_bookstore_with_parameters(self):
+        query = corpus_query("bookstore:orders=6,users=3,seed=1")
+        assert len(query.relations[0]) == 6
+        assert query.twigs[0].document.nodes("orderLine")
+        assert corpus_query("bookstore").relations[0]  # defaults work
+
+    def test_triangle_is_relational_only(self):
+        query = corpus_query("triangle:n=4")
+        assert len(query.relations) == 3
+        assert not query.twigs
+
+    def test_resolution_builds_independent_state(self):
+        first = corpus_query("figure1")
+        second = corpus_query("figure1")
+        assert first.relations[0] is not second.relations[0]
+        assert first.twigs[0].document is not second.twigs[0].document
+        # ...but byte-identical: same rows, same canonical labels.
+        assert first.naive_join().sorted_rows() \
+            == second.naive_join().sorted_rows()
+
+    def test_available_corpora_all_resolve(self):
+        for name in available_corpora():
+            assert corpus_query(name).relations
+
+
+class TestBadSpecs:
+    @pytest.mark.parametrize("spec", [
+        "warehouse",                      # unknown corpus
+        "bookstore:orders",               # missing =value
+        "bookstore:orders=ten",           # non-integer
+        "bookstore:shelves=3",            # unknown parameter
+        "triangle:n=4,m=2",               # extra parameter
+    ])
+    def test_rejected_as_bad_request(self, spec):
+        with pytest.raises(ServiceError) as info:
+            corpus_query(spec)
+        assert info.value.code == "bad_request"

@@ -1,0 +1,93 @@
+"""Tenant quotas and session accounting (no server, no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.scenarios import figure1_query
+from repro.errors import ServiceError
+from repro.service.tenancy import SessionManager, TenantQuota
+from repro.updates.session import QuerySession
+
+
+def open_session(manager: SessionManager, tenant: str):
+    return manager.admit_session(tenant, QuerySession(figure1_query()))
+
+
+class TestSessionQuota:
+    def test_session_limit_is_per_tenant(self):
+        manager = SessionManager(TenantQuota(max_sessions=2))
+        open_session(manager, "a")
+        open_session(manager, "a")
+        with pytest.raises(ServiceError) as info:
+            open_session(manager, "a")
+        assert info.value.code == "quota"
+        open_session(manager, "b")  # another tenant is unaffected
+
+    def test_close_frees_a_slot(self):
+        manager = SessionManager(TenantQuota(max_sessions=1))
+        state = open_session(manager, "a")
+        manager.close_session("a", state.sid)
+        open_session(manager, "a")
+
+    def test_session_ids_are_tenant_scoped(self):
+        manager = SessionManager()
+        first = open_session(manager, "a")
+        second = open_session(manager, "a")
+        other = open_session(manager, "b")
+        assert first.sid != second.sid
+        assert other.sid.startswith("b-")
+
+
+class TestSnapshotQuota:
+    def test_snapshot_limit_counts_across_sessions(self):
+        manager = SessionManager(TenantQuota(max_snapshots=2))
+        first = open_session(manager, "a")
+        second = open_session(manager, "a")
+        for state in (first, second):
+            manager.admit_snapshot(state)
+            state.register_snapshot(state.session.pin())
+        with pytest.raises(ServiceError) as info:
+            manager.admit_snapshot(first)
+        assert info.value.code == "quota"
+
+    def test_close_releases_the_snapshots(self):
+        manager = SessionManager()
+        state = open_session(manager, "a")
+        snapshot = state.session.pin()
+        state.register_snapshot(snapshot)
+        session = state.session
+        manager.close_session("a", state.sid)
+        assert snapshot.released
+        assert session.mvcc.active_count() == 0
+
+
+class TestUpdateQuota:
+    def test_pending_updates_are_bounded(self):
+        manager = SessionManager(TenantQuota(max_pending_updates=2))
+        manager.admit_update("a")
+        manager.admit_update("a")
+        with pytest.raises(ServiceError) as info:
+            manager.admit_update("a")
+        assert info.value.code == "quota"
+        # Draining (the writer's decrement) reopens the gate.
+        manager.tenant("a").pending_updates -= 1
+        manager.admit_update("a")
+
+
+class TestLookup:
+    def test_unknown_session_has_its_own_code(self):
+        manager = SessionManager()
+        with pytest.raises(ServiceError) as info:
+            manager.state("a", "a-99")
+        assert info.value.code == "unknown_session"
+
+    def test_counts_report_per_tenant(self):
+        manager = SessionManager()
+        state = open_session(manager, "a")
+        manager.admit_snapshot(state)
+        state.register_snapshot(state.session.pin())
+        manager.admit_update("a")
+        assert manager.counts() == {
+            "a": {"sessions": 1, "snapshots": 1, "pending_updates": 1}}
+        assert len(manager.all_states()) == 1

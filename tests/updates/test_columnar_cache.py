@@ -4,19 +4,25 @@ The columnar view and document-stats caches key on the pair, so a
 document object that is *reused* after a mutation (reindexed in place,
 or patched + version-bumped by the update layer) can never be served a
 stale entry: the lookup key itself moves with the version. Superseded
-versions must also be evicted eagerly — one live entry per document.
+versions must also be evicted eagerly — one live entry per document —
+unless the MVCC layer pinned them (``pin_document_version``), in which
+case they stay resident until the last pin is released.
 """
 
 from __future__ import annotations
 
 from repro.xml.columnar import (
     _COLUMNAR_CACHE,
+    _PINNED_VERSIONS,
     _STATS_CACHE,
     ColumnarDocument,
     columnar,
     document_stats,
     install_columnar,
     install_document_stats,
+    invalidate_document_caches,
+    pin_document_version,
+    release_document_version,
     stats_from_view,
 )
 from repro.xml.model import XMLDocument, element
@@ -102,3 +108,63 @@ class TestInstall:
         install_columnar(document, view)
         assert entries_for(_COLUMNAR_CACHE, document) \
             == [(id(document), document.version)]
+
+
+class TestVersionPins:
+    """The MVCC escape hatch: a pinned (document, version) entry
+    survives both supersede-eviction and explicit invalidation, and is
+    purged when the last pin is released."""
+
+    def test_pinned_entry_survives_supersession(self):
+        document = build_document()
+        pinned_version = document.version
+        view = columnar(document)
+        pin_document_version(document)
+        document.reindex()
+        columnar(document)  # installs the new version
+        key = (id(document), pinned_version)
+        assert key in _COLUMNAR_CACHE
+        assert _COLUMNAR_CACHE[key][1] is view
+        release_document_version(document, pinned_version)
+        assert key not in _COLUMNAR_CACHE
+
+    def test_pinned_entry_survives_explicit_invalidation(self):
+        document = build_document()
+        view = columnar(document)
+        stats = document_stats(document)
+        pin_document_version(document)
+        invalidate_document_caches(document)
+        assert columnar(document) is view
+        assert document_stats(document) is stats
+        release_document_version(document)
+
+    def test_pins_are_counted(self):
+        document = build_document()
+        version = document.version
+        columnar(document)
+        pin_document_version(document)
+        pin_document_version(document)
+        document.reindex()
+        columnar(document)
+        key = (id(document), version)
+        release_document_version(document, version)
+        assert key in _COLUMNAR_CACHE  # one pin still live
+        release_document_version(document, version)
+        assert key not in _COLUMNAR_CACHE
+
+    def test_release_of_current_version_keeps_the_entry(self):
+        document = build_document()
+        view = columnar(document)
+        pin_document_version(document)
+        release_document_version(document)
+        # Never superseded: the entry stays under weakref discipline.
+        assert columnar(document) is view
+
+    def test_unbalanced_release_is_ignored(self):
+        document = build_document()
+        columnar(document)
+        release_document_version(document)  # no pin: no-op
+        assert entries_for(_COLUMNAR_CACHE, document) \
+            == [(id(document), document.version)]
+        assert not [key for key in _PINNED_VERSIONS
+                    if key[0] == id(document)]

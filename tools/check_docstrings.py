@@ -33,8 +33,10 @@ from pathlib import Path
 DEFAULT_SCOPE = [
     "src/repro/buffers",
     "src/repro/engine",
-    "src/repro/updates",
+    "src/repro/mvcc",
     "src/repro/parallel",
+    "src/repro/service",
+    "src/repro/updates",
 ]
 
 
