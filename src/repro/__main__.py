@@ -14,7 +14,14 @@ Commands:
   against the list-based leapfrog and the shm spawn transport against
   serial twig matching; ``--suite service`` measures the multi-tenant
   query service — queries/sec and p50/p99 snapshot-read latency at
-  1/4/16 concurrent clients under a background update stream)
+  1/4/16 concurrent clients under a background update stream;
+  ``--suite planner`` races the static planner's plan against the
+  adaptive feedback-driven planner on the skewed triangle and an
+  XMark multi-model scenario)
+* ``explain [corpus-spec]`` — print the adaptive planner's chosen plan
+  for a corpus spec (default ``skewed``): expansion order, operator,
+  partitions, and per-stage estimated vs observed cardinalities from
+  one instrumented execution
 * ``serve`` — host a corpus behind the line-JSON query service
   (``docs/service.md``): TCP by default (``--port 0`` prints the
   kernel-chosen port), ``--stdio`` for a pipe transport
@@ -28,12 +35,13 @@ Options:
   multi-model scenarios. Applies to ``figure3``, ``bench`` and
   ``selftest``.
 * ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig``,
-  ``updates``, ``parallel``, ``buffers`` or ``service``.
+  ``updates``, ``parallel``, ``buffers``, ``service`` or ``planner``.
 * ``--workers N`` — worker processes for partition-parallel execution
   (default 0 = serial). ``bench --suite parallel`` races serial against
   this pool size; ``selftest`` additionally checks parallel/serial
   parity for every registered algorithm; ``serve`` offloads heavy
-  queries to this pool.
+  queries to this pool; ``explain`` shows the partition count the
+  adaptive planner would choose for this pool size.
 * ``--corpus SPEC`` — ``serve``: the hosted corpus, e.g. ``figure1``
   (default), ``bookstore:orders=40,users=12`` or ``triangle:n=8``.
 * ``--host H`` / ``--port P`` — ``serve``: TCP bind address (default
@@ -366,6 +374,100 @@ def cmd_bench_service(n: int = 12, records: list | None = None) -> int:
     return 0
 
 
+def cmd_bench_planner(n: int = 4096, records: list | None = None) -> int:
+    """Race the static planner's plan against the adaptive planner
+    (shared with ``benchmarks/bench_planner.py`` through
+    :mod:`repro.engine.bench`): the steady-state skewed-triangle join
+    is gated at the speedup target; the cold one-shot path and the
+    XMark multi-model scenario are reported alongside. Parity failures
+    are always fatal."""
+    from repro.engine.bench import (
+        SPEEDUP_TARGET,
+        skewed_triangle_scenario,
+        xmark_scenario,
+    )
+
+    failures = 0
+    scenarios = (skewed_triangle_scenario(max(n, 512)), xmark_scenario())
+    print("planner suite: static plan vs adaptive (feedback corrections "
+          "+ bound ordering + plan racing); gated target "
+          f">= {SPEEDUP_TARGET:g}x on the steady-state skewed triangle")
+    for result in scenarios:
+        print(f"  {result.title}:")
+        for timing in result.timings:
+            gate = "" if timing.gated else "  (reported only)"
+            print(f"    {timing.label:<24} static {timing.static_ms:8.1f}ms"
+                  f"   adaptive {timing.adaptive_ms:8.1f}ms"
+                  f"   speedup {timing.speedup:5.2f}x{gate}")
+            if records is not None:
+                _record(records, result.title, timing.label,
+                        timing.adaptive_ms, timing.speedup)
+        if not result.consistent:
+            print(f"error: {result.title}: adaptive answer diverged "
+                  "from the static plan", file=sys.stderr)
+            failures += 1
+        elif not result.ok:
+            print(f"error: {result.title}: adaptive plan missed the "
+                  f"{SPEEDUP_TARGET:g}x target", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_explain(spec: str = "skewed", workers: int = 0) -> int:
+    """Print the adaptive plan for *spec* with estimated vs observed
+    per-stage cardinalities (from one instrumented execution), and note
+    any re-planned choice once the observation is folded back."""
+    from repro.engine.adaptive import (
+        AdaptivePlanner,
+        FeedbackStore,
+        observed_stage_sizes,
+    )
+    from repro.engine.planner import run_query
+    from repro.errors import ServiceError
+    from repro.service.corpus import corpus_query
+
+    try:
+        query = corpus_query(spec)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    planner = AdaptivePlanner(store=FeedbackStore())
+    plan = planner.plan(query, workers=workers)
+    print(f"plan for {spec!r}:")
+    print(f"  order:      {' -> '.join(plan.order)}  "
+          f"(policy {plan.policy!r})")
+    print(f"  operator:   {plan.algorithm}")
+    for binding_name, matcher in plan.twig_algorithms:
+        print(f"  twig:       {binding_name} via {matcher}")
+    partitions = f"{plan.partitions}"
+    if plan.partition_axis is not None:
+        partitions += f" on {plan.partition_axis!r}"
+    print(f"  partitions: {partitions}")
+    stats = JoinStats()
+    result = run_query(query, order=plan.order, algorithm=plan.algorithm,
+                       stats=stats, workers=workers)
+    planner.observe(query, plan.order, stats)
+    observed = observed_stage_sizes(stats, plan.order)
+    estimates = dict(plan.stage_estimates)
+    print("  stage cardinalities (upper-bound estimate vs observed):")
+    for attribute in plan.order:
+        estimate = estimates.get(attribute)
+        seen = observed.get(attribute)
+        estimate_text = "?" if estimate is None else f"{estimate}"
+        seen_text = "?" if seen is None else f"{seen}"
+        print(f"    {attribute:<12} est {estimate_text:>10}   "
+              f"observed {seen_text:>10}")
+    print(f"  result: {len(result)} rows")
+    replanned = planner.plan(query, workers=workers)
+    if (replanned.order, replanned.algorithm) != \
+            (plan.order, plan.algorithm):
+        print(f"  after observation: planner switches to "
+              f"{' -> '.join(replanned.order)} ({replanned.algorithm})")
+    else:
+        print("  after observation: plan unchanged (converged)")
+    return 0
+
+
 def cmd_serve(corpus: str, host: str, port: int, stdio: bool,
               workers: int = 0) -> int:
     """Host *corpus* behind the line-JSON query service until EOF /
@@ -517,12 +619,12 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
     command = args[0] if args else "figure1"
-    if workers and not (command in ("selftest", "serve")
+    if workers and not (command in ("selftest", "serve", "explain")
                         or (command == "bench" and suite == "parallel")):
         # Never let --workers be parsed and then silently ignored: only
-        # the parallel bench suite, selftest and serve consume it.
+        # the parallel bench suite, selftest, serve and explain use it.
         print("error: --workers applies to 'bench --suite parallel', "
-              "'selftest' and 'serve' only", file=sys.stderr)
+              "'selftest', 'serve' and 'explain' only", file=sys.stderr)
         return 2
     if emit_json and command != "bench":
         print("error: --json applies to 'bench' only", file=sys.stderr)
@@ -542,7 +644,7 @@ def main(argv: list[str] | None = None) -> int:
                                twig_algorithm)
         if command == "bench":
             suites = ("engine", "twig", "updates", "parallel", "buffers",
-                      "service")
+                      "service", "planner")
             if suite not in (None,) + suites:
                 print(f"error: unknown bench suite {suite!r}; choose from "
                       f"{list(suites)!r}", file=sys.stderr)
@@ -565,6 +667,9 @@ def main(argv: list[str] | None = None) -> int:
             elif suite == "service":
                 rc = cmd_bench_service(_int_argument(command, args, 12),
                                        records)
+            elif suite == "planner":
+                rc = cmd_bench_planner(_int_argument(command, args, 4096),
+                                       records)
             elif suite == "twig":
                 rc = cmd_bench_twig(_int_argument(command, args, 150),
                                     twig_algorithm, records)
@@ -574,6 +679,9 @@ def main(argv: list[str] | None = None) -> int:
             if rc == 0 and records is not None:
                 _write_bench_json(suite or "engine", records)
             return rc
+        if command == "explain":
+            return cmd_explain(args[1] if len(args) > 1 else "skewed",
+                               workers)
         if command == "serve":
             return cmd_serve(corpus or "figure1", host or "127.0.0.1",
                              port, stdio, workers)

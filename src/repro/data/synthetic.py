@@ -117,6 +117,37 @@ def example33_instance(n: int, *, name: str = "Q") -> WorstCaseInstance:
     return WorstCaseInstance(n=n, query=query, document=document, twig=twig)
 
 
+def skewed_triangle(n: int, *, b_domain: int | None = None,
+                    c_domain: int | None = None) -> list[Relation]:
+    """A triangle instance whose *static* stats pick a provably bad order.
+
+    R(a,b) = {(i, hash(i))} maps each of n ``a``-values onto a tiny
+    ``b``-domain of d values, S(b,c) is the complete d x m grid, and
+    T(a,c) = {(i, i mod m)} gives every ``a`` exactly one ``c``. Domain
+    estimates (a: n, b: d, c: m) make the static planner expand the
+    small skewed domains first — order (b, c, a) — which keeps d*m
+    prefix tuples alive and probes ~d*m*(n/m) candidates at the ``a``
+    level. Orders starting from ``a`` exploit the functional
+    dependencies (one b per a via R, one c per a via T) and touch ~n
+    tuples total. The adaptive planner's bound model and plan racer
+    both discover this; the static policy cannot — which is exactly
+    what ``bench --suite planner`` gates on.
+
+    Defaults: d = m = max(16, n // 64) — square domains maximise the
+    bad order's live-pair count (d*m) relative to |S| = d*m rows of
+    encode work, keeping the gap (and hence the static planner's
+    mistake) measurable across scales. The join result has exactly n
+    rows.
+    """
+    d = b_domain if b_domain is not None else max(16, n // 64)
+    m = c_domain if c_domain is not None else max(16, n // 64)
+    r = Relation("R", ("a", "b"), [(i, (i * 7 + 3) % d) for i in range(n)])
+    s = Relation("S", ("b", "c"),
+                 [(b, c) for b in range(d) for c in range(m)])
+    t = Relation("T", ("a", "c"), [(i, i % m) for i in range(n)])
+    return [r, s, t]
+
+
 def agm_tight_triangle(n: int) -> list[Relation]:
     """The classic skewed triangle instance where binary plans blow up.
 

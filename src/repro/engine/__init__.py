@@ -14,6 +14,12 @@ Three layers (see ``docs/architecture.md``):
 3. **Stats-driven planning** (:mod:`repro.engine.planner`) — cached
    relation/twig statistics choosing the expansion order and the
    algorithm, with the historical policies preserved as named strategies.
+
+On top sits the **adaptive layer** (:mod:`repro.engine.adaptive`):
+runtime cardinality corrections fed back from executed queries'
+``JoinStats``, the ``bound``/``corrected`` upper-bound order policies
+(registered here at import time), and plan racing with early kill. See
+``docs/planner.md``.
 """
 
 from repro.engine.dictionary import Dictionary, DictionaryBuilder
@@ -35,26 +41,41 @@ from repro.engine.planner import (
     cached_relation_stats,
     choose_twig_algorithm,
     plan_query,
+    register_order_policy,
     run_query,
     statistics_for,
 )
 
+# Importing the adaptive layer registers the "bound" and "corrected"
+# order policies alongside the static ones.
+from repro.engine.adaptive import (  # noqa: E402  (needs planner above)
+    AdaptivePlanner,
+    FeedbackStore,
+    PlanRacer,
+    default_feedback,
+)
+
 __all__ = [
+    "AdaptivePlanner",
     "Dictionary",
     "DictionaryBuilder",
     "EncodedInstance",
     "EncodedTrie",
     "EncodedTrieIterator",
+    "FeedbackStore",
     "JoinAlgorithm",
+    "PlanRacer",
     "QueryPlan",
     "QueryStatistics",
     "TwigFilters",
     "available_algorithms",
     "cached_relation_stats",
     "choose_twig_algorithm",
+    "default_feedback",
     "get_algorithm",
     "plan_query",
     "register",
+    "register_order_policy",
     "run_query",
     "statistics_for",
 ]

@@ -1,0 +1,817 @@
+"""Adaptive feedback-driven planning: corrections, bounds, plan racing.
+
+Three cooperating pieces close the loop the static planner leaves open
+(mis-estimates on skewed or update-churned data silently pinning every
+subsequent query to a bad plan):
+
+1. **Feedback corrections** (:class:`FeedbackStore`). After an executed
+   query, the per-level ``record_stage`` counters in
+   :class:`~repro.instrumentation.JoinStats` are folded back into
+   per-(input, attribute, prefix) cardinality correction factors —
+   observed over estimated, EWMA-smoothed — stored beside the cached
+   :class:`~repro.relational.statistics.RelationStats` /
+   :class:`~repro.xml.columnar.DocumentStats`. Corrections are
+   **version-keyed**: every factor is recorded against the version
+   stamps of the query's inputs, and a factor whose input has moved on
+   is never consumed. :class:`~repro.updates.session.QuerySession`
+   refreshes the stamps as its maintained statistics refresh (small
+   deltas *inherit* corrections; churn bursts *invalidate* them).
+
+2. **Bound-driven ordering** (:func:`bound_order` / the ``bound``
+   policy, plus the correction-aware ``corrected`` policy). A UES/AGM
+   style estimate: the number of bindings a new attribute adds per
+   prefix tuple is upper-bounded, per input, by the input's maximum
+   per-value frequency on any already-bound attribute (or its distinct
+   count when disconnected). A subset DP picks the order minimising
+   the worst per-prefix output bound — the quantity Lemma 3.5 bounds —
+   with the cumulative product as tie-break.
+
+3. **Plan racing** (:class:`PlanRacer`). The top-K candidate plans
+   (order policy x operator) race on a budgeted sample of the key
+   domain (a :func:`~repro.parallel.slicing.sliced_instance` over the
+   first codes of each candidate's own level-0 axis); each round the
+   slower half is killed and the survivors re-race on a sample
+   ``growth`` times larger. The winner is cached per query signature
+   and only re-raced when the feedback epoch moves — i.e. when the
+   corrections changed materially — so a converged workload plans in
+   O(1). The service feeds winners into its shared
+   :class:`~repro.service.cache.PlanCache` (keyed by the same epoch)
+   so ``repro serve`` tenants benefit without re-racing.
+
+Corrections influence *plan choice only*; every ordering policy and
+every raced plan returns byte-identical rows (the parity suites assert
+this), so a stale-but-undetected correction can cost milliseconds,
+never wrong answers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.engine.encoded import EncodedInstance
+from repro.engine.interface import get_algorithm
+from repro.engine.planner import (
+    QueryPlan,
+    attribute_order,
+    plan_query,
+    register_order_policy,
+    run_query,
+    statistics_for,
+)
+from repro.instrumentation import JoinStats, ensure_stats
+
+if TYPE_CHECKING:
+    from repro.core.multimodel import MultiModelQuery
+    from repro.relational.relation import Relation
+
+# ---------------------------------------------------------------------------
+# query signatures and input version stamps
+# ---------------------------------------------------------------------------
+
+def query_signature(query: "MultiModelQuery") -> tuple:
+    """A structural key for *query*: input names, schemas, twig shapes.
+
+    Two queries with the same signature are *candidates* for sharing
+    corrections and race winners; whether a stored correction actually
+    applies is decided by the version stamps (:func:`input_versions`),
+    never by the signature alone.
+    """
+    relations = tuple((relation.name, relation.schema.attributes)
+                      for relation in query.relations)
+    twigs = tuple(
+        (binding.name,
+         tuple((node.name, node.tag) for node in binding.twig.nodes()))
+        for binding in query.twigs)
+    return (query.name, relations, twigs)
+
+
+def input_versions(query: "MultiModelQuery") -> dict[str, tuple]:
+    """Per-input version stamps at this instant.
+
+    Immutable relations are replaced wholesale on update (the update
+    layer builds a fresh object per version), so object identity plus
+    cardinality stamps a relational version; documents are patched in
+    place but bump :attr:`~repro.xml.model.XMLDocument.version` on
+    every edit, so (identity, version) stamps a document. Stamps are
+    compared for equality only — a mismatch means "do not consume".
+    """
+    versions: dict[str, tuple] = {}
+    for relation in query.relations:
+        versions[relation.name] = ("rel", id(relation), len(relation))
+    for binding in query.twigs:
+        versions[binding.name] = ("doc", id(binding.document),
+                                  binding.document.version)
+    return versions
+
+
+# ---------------------------------------------------------------------------
+# stage estimates (the UES/AGM-style upper-bound model)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StageEstimate:
+    """One expansion level's estimated output upper bound.
+
+    ``extension`` is the per-prefix-tuple binding bound contributed by
+    ``source`` (the tightest covering input); ``cumulative`` is the
+    running product — the upper bound on partial tuples alive after
+    this level, the quantity the planner wants small early.
+    """
+
+    attribute: str
+    prefix: tuple[str, ...]
+    source: str
+    extension: float
+    cumulative: float
+
+
+def _extension_bound(query: "MultiModelQuery", attribute: str,
+                     bound: "set[str]") -> tuple[float, str]:
+    """(bound, source input) on bindings of *attribute* per prefix tuple.
+
+    For a relation sharing an already-bound attribute ``b``, at most
+    ``max_frequency(b)`` rows — hence distinct *attribute* values —
+    extend one prefix tuple; a disconnected input caps extensions at
+    its distinct count. Twig inputs contribute their candidate
+    distinct-value counts (the columnar stats carry no per-pair
+    frequencies, so the twig-side bound is the loose one). The minimum
+    over covering inputs is sound because every covering input must
+    agree on the attribute's value.
+    """
+    from repro.xml.columnar import columnar
+
+    stats = statistics_for(query)
+    best = math.inf
+    source = ""
+    for relation in query.relations:
+        if attribute not in relation.schema.attributes:
+            continue
+        columns = stats.relation_stats(relation).columns
+        shared = [b for b in relation.schema.attributes
+                  if b in bound and b != attribute]
+        if shared:
+            extension = min(columns[b].max_frequency for b in shared)
+        else:
+            extension = columns[attribute].distinct
+        if extension < best:
+            best, source = extension, relation.name
+    for binding in query.twigs:
+        if attribute not in binding.twig.attributes:
+            continue
+        view = columnar(binding.document)
+        for query_node in binding.twig.nodes():
+            if query_node.name != attribute:
+                continue
+            extension = view.distinct_value_count(query_node)
+            if extension < best:
+                best, source = extension, binding.name
+    if best is math.inf:  # unreachable for well-formed queries
+        best = 1.0
+    return float(best), source
+
+
+def estimated_stage_sizes(query: "MultiModelQuery",
+                          order: "tuple[str, ...]",
+                          store: "FeedbackStore | None" = None
+                          ) -> list[StageEstimate]:
+    """Per-prefix output upper bounds for expanding *query* in *order*.
+
+    With *store* the raw bounds are multiplied by the (version-fresh)
+    learned correction factors, turning upper bounds into calibrated
+    estimates; without it they are the pure UES/AGM-style bounds.
+    """
+    estimates: list[StageEstimate] = []
+    cumulative = 1.0
+    prefix: tuple[str, ...] = ()
+    for attribute in order:
+        extension, source = _extension_bound(query, attribute, set(prefix))
+        if store is not None:
+            extension *= store.stage_factor(query, source, attribute, prefix)
+        cumulative *= extension
+        estimates.append(StageEstimate(attribute, prefix, source,
+                                       extension, cumulative))
+        prefix += (attribute,)
+    return estimates
+
+
+def observed_stage_sizes(stats: JoinStats,
+                         order: Iterable[str]) -> dict[str, int]:
+    """Observed per-attribute live-tuple counts from executed stats.
+
+    The kernels label their per-level stages ``level <attr>`` /
+    ``expand <attr>``; anything else (morsel markers, baseline plan
+    nodes) is ignored. The *last* record per attribute wins — kernels
+    record each level exactly once, after the run.
+    """
+    wanted = set(order)
+    observed: dict[str, int] = {}
+    for record in stats.stages:
+        parts = record.label.split(" ", 1)
+        if len(parts) == 2 and parts[1] in wanted:
+            observed[parts[1]] = record.size
+    return observed
+
+
+# ---------------------------------------------------------------------------
+# the feedback store
+# ---------------------------------------------------------------------------
+
+#: Correction factors are clamped to this band: a single wild sample
+#: (e.g. an estimate floored at 1) must not poison the store forever.
+FACTOR_CLAMP = 64.0
+
+#: An EWMA move below this log-scale distance is immaterial: it neither
+#: bumps the epoch nor triggers a re-race, which is what lets a
+#: converged workload stop paying planning costs.
+EPOCH_TOLERANCE = 0.25
+
+
+@dataclass
+class Correction:
+    """One learned cardinality correction factor (observed/estimated)."""
+
+    input_name: str
+    attribute: str
+    #: The executed prefix the factor was observed under (None = the
+    #: marginal factor, applied when no exact-prefix sample exists).
+    prefix: "tuple[str, ...] | None"
+    factor: float = 1.0
+    samples: int = 0
+
+    def fold(self, observed_factor: float, *,
+             smoothing: float = 0.5) -> float:
+        """EWMA the new sample in; returns the absolute log-scale move.
+
+        A first sample's move is its deviation from the neutral factor
+        1.0 the planner was already assuming — an observation that
+        merely confirms the estimate is not a material change, no
+        matter how new its key is."""
+        clamped = min(max(observed_factor, 1.0 / FACTOR_CLAMP),
+                      FACTOR_CLAMP)
+        if self.samples == 0:
+            updated = clamped
+        else:
+            updated = (1.0 - smoothing) * self.factor + smoothing * clamped
+        move = abs(math.log(updated) - math.log(self.factor))
+        self.factor = updated
+        self.samples += 1
+        return move
+
+
+class FeedbackStore:
+    """Version-keyed cardinality corrections learned from executed plans.
+
+    Keys are per-(input, attribute, prefix); version stamps are held
+    per query signature and checked on every read, so a correction
+    observed against superseded data is *never* consumed (it returns
+    the neutral factor 1.0 until re-learned or explicitly inherited by
+    the update layer). :attr:`epoch` advances only on material changes
+    — first observations, large EWMA moves, invalidations — and is the
+    coupling point for the plan racer and the service plan cache.
+    """
+
+    def __init__(self, *, smoothing: float = 0.5,
+                 epoch_tolerance: float = EPOCH_TOLERANCE,
+                 stamp_fn=None):
+        self.smoothing = smoothing
+        self.epoch_tolerance = epoch_tolerance
+        #: How inputs are version-stamped. The default is physical
+        #: identity (:func:`input_versions`); the service substitutes a
+        #: logical stamp (the applied-batch count) because its snapshot
+        #: queries run over detached per-snapshot clones whose object
+        #: identities never recur, while equal batch counts *are* equal
+        #: logical states.
+        self._stamp_fn = stamp_fn if stamp_fn is not None \
+            else input_versions
+        #: (scope, input, attribute, prefix-or-None) -> Correction.
+        self._corrections: dict[tuple, Correction] = {}
+        #: scope -> input name -> version stamp at observation time.
+        self._versions: dict[tuple, dict[str, tuple]] = {}
+        self.epoch = 0
+        self.observations = 0
+
+    # -- learning ----------------------------------------------------------
+
+    def observe(self, query: "MultiModelQuery", order: "tuple[str, ...]",
+                stats: JoinStats) -> int:
+        """Fold one executed query's stage counters into corrections.
+
+        Returns the number of (attribute, prefix) levels that produced
+        a sample. Estimates are the *raw* (uncorrected) bounds, so the
+        factors always calibrate the static model rather than chasing
+        their own output.
+        """
+        observed = observed_stage_sizes(stats, order)
+        if not observed:
+            return 0
+        scope = query_signature(query)
+        estimates = estimated_stage_sizes(query, order)
+        material = False
+        folded = 0
+        for estimate in estimates:
+            size = observed.get(estimate.attribute)
+            if size is None:
+                continue
+            raw = max(estimate.cumulative, 1.0)
+            sample = max(size, 0) / raw
+            for prefix in (estimate.prefix, None):
+                key = (scope, estimate.source, estimate.attribute, prefix)
+                correction = self._corrections.get(key)
+                if correction is None:
+                    correction = Correction(estimate.source,
+                                            estimate.attribute, prefix)
+                    self._corrections[key] = correction
+                move = correction.fold(sample, smoothing=self.smoothing)
+                if move > self.epoch_tolerance:
+                    material = True
+            folded += 1
+        self._versions[scope] = self._stamp_fn(query)
+        self.observations += 1
+        if material:
+            self.epoch += 1
+        return folded
+
+    # -- reading (version-key checked) -------------------------------------
+
+    def _fresh(self, scope: tuple, query: "MultiModelQuery",
+               input_name: str) -> bool:
+        """Is the stored stamp for *input_name* the input's current one?"""
+        recorded = self._versions.get(scope)
+        if recorded is None or input_name not in recorded:
+            return False
+        return recorded[input_name] == \
+            self._stamp_fn(query).get(input_name)
+
+    def stage_factor(self, query: "MultiModelQuery", input_name: str,
+                     attribute: str,
+                     prefix: "tuple[str, ...]") -> float:
+        """The learned factor for one expansion level (1.0 if unknown
+        **or stale** — the version-key check that keeps post-churn
+        plans from consuming superseded corrections)."""
+        scope = query_signature(query)
+        if not self._fresh(scope, query, input_name):
+            return 1.0
+        correction = (self._corrections.get(
+                          (scope, input_name, attribute, prefix))
+                      or self._corrections.get(
+                          (scope, input_name, attribute, None)))
+        return correction.factor if correction is not None else 1.0
+
+    def corrected_domain_estimate(self, query: "MultiModelQuery",
+                                  attribute: str, estimate: int) -> int:
+        """*estimate* scaled by the level-0 correction for *attribute*
+        (used by ``choose_partitions`` so morsel counts follow observed,
+        not nominal, cardinalities)."""
+        _extension, source = _extension_bound(query, attribute, set())
+        factor = self.stage_factor(query, source, attribute, ())
+        return max(0, int(round(estimate * factor)))
+
+    # -- update-layer hooks ------------------------------------------------
+
+    def note_input_update(self, query: "MultiModelQuery", input_name: str,
+                          *, churn: bool) -> None:
+        """One input of *query* changed: inherit or invalidate.
+
+        A small delta *inherits* — the maintained statistics were
+        patched, not rebuilt, so the learned factors still describe the
+        data and only the version stamp advances. A churn burst
+        *invalidates*: every correction attributed to the input is
+        dropped and the epoch bumps (forcing a re-race)."""
+        scope = query_signature(query)
+        if churn:
+            stale = [key for key in self._corrections
+                     if key[0] == scope and key[1] == input_name]
+            for key in stale:
+                del self._corrections[key]
+            recorded = self._versions.get(scope)
+            if recorded is not None:
+                recorded.pop(input_name, None)
+            if stale or recorded is not None:
+                self.epoch += 1
+            return
+        recorded = self._versions.get(scope)
+        if recorded is not None and input_name in recorded:
+            recorded[input_name] = \
+                self._stamp_fn(query).get(input_name)
+
+    def invalidate(self, query: "MultiModelQuery | None" = None) -> None:
+        """Drop every correction (of *query*'s scope, or all of them)."""
+        if query is None:
+            if self._corrections or self._versions:
+                self.epoch += 1
+            self._corrections.clear()
+            self._versions.clear()
+            return
+        scope = query_signature(query)
+        stale = [key for key in self._corrections if key[0] == scope]
+        for key in stale:
+            del self._corrections[key]
+        if self._versions.pop(scope, None) is not None or stale:
+            self.epoch += 1
+
+    def bump_epoch(self) -> int:
+        """Advance the epoch without touching corrections (the service
+        calls this per applied update batch, keying stale cached plans
+        out of its :class:`~repro.service.cache.PlanCache`)."""
+        self.epoch += 1
+        return self.epoch
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Counters for dashboards and the service ``stats`` endpoint."""
+        return {
+            "corrections": len(self._corrections),
+            "scopes": len(self._versions),
+            "epoch": self.epoch,
+            "observations": self.observations,
+        }
+
+    def __repr__(self) -> str:
+        return (f"FeedbackStore({len(self._corrections)} corrections, "
+                f"epoch {self.epoch}, {self.observations} observations)")
+
+
+#: The process-wide default store: the ``corrected`` order policy and
+#: the plain ``run_query`` partition chooser read it; ``repro explain``
+#: and :class:`AdaptivePlanner` write it unless given their own.
+_DEFAULT_STORE = FeedbackStore()
+
+
+def default_feedback() -> FeedbackStore:
+    """The process-wide default :class:`FeedbackStore`."""
+    return _DEFAULT_STORE
+
+
+# ---------------------------------------------------------------------------
+# bound-driven ordering (the ``bound`` and ``corrected`` policies)
+# ---------------------------------------------------------------------------
+
+#: Above this many attributes the subset DP (O(2^n * n)) yields to the
+#: greedy smallest-extension heuristic.
+MAX_DP_ATTRIBUTES = 12
+
+
+def _bound_driven_order(query: "MultiModelQuery",
+                        store: "FeedbackStore | None"
+                        ) -> tuple[str, ...]:
+    """The order minimising (max per-prefix bound, total, lexicographic).
+
+    Subset DP: the bound on extending a bound set ``S`` by ``x``
+    depends only on ``S``, so states are subsets carrying the best
+    (worst-stage, sum-of-stages, cumulative, order) found — a heuristic
+    DP (the cumulative is path-dependent) that is exact on the max
+    criterion whenever extensions are monotone, and deterministic
+    always via the lexicographic order tie-break.
+    """
+    attributes = query.attributes
+    if len(attributes) > MAX_DP_ATTRIBUTES:
+        remaining = set(attributes)
+        order: list[str] = []
+        while remaining:
+            bound = set(order)
+
+            def cost(attribute: str) -> tuple[float, str]:
+                extension, source = _extension_bound(query, attribute,
+                                                     bound)
+                if store is not None:
+                    extension *= store.stage_factor(
+                        query, source, attribute, tuple(order))
+                return (extension, attribute)
+
+            pick = min(remaining, key=cost)
+            order.append(pick)
+            remaining.discard(pick)
+        return tuple(order)
+
+    # DP over subsets: state value = (max stage bound, stage sum,
+    # order tuple) minimised lexicographically; cumulative rides along.
+    start: tuple[float, float, tuple[str, ...], float] = \
+        (0.0, 0.0, (), 1.0)
+    states: dict[frozenset, tuple[float, float, tuple[str, ...], float]] = {
+        frozenset(): start}
+    for _ in attributes:
+        successors: dict[frozenset,
+                         tuple[float, float, tuple[str, ...], float]] = {}
+        for subset, (worst, total, order, cumulative) in states.items():
+            for attribute in attributes:
+                if attribute in subset:
+                    continue
+                extension, source = _extension_bound(query, attribute,
+                                                     set(subset))
+                if store is not None:
+                    extension *= store.stage_factor(query, source,
+                                                    attribute, order)
+                stage = cumulative * extension
+                candidate = (max(worst, stage), total + stage,
+                             order + (attribute,), stage)
+                key = subset | {attribute}
+                incumbent = successors.get(key)
+                if incumbent is None or candidate[:3] < incumbent[:3]:
+                    successors[key] = candidate
+        states = successors
+    (_worst, _total, order, _cumulative), = states.values()
+    return order
+
+
+def bound_order(query: "MultiModelQuery") -> tuple[str, ...]:
+    """The ``bound`` policy: pure upper-bound-driven ordering."""
+    return _bound_driven_order(query, None)
+
+
+def corrected_order(query: "MultiModelQuery") -> tuple[str, ...]:
+    """The ``corrected`` policy: bound-driven ordering calibrated by the
+    default feedback store's (version-fresh) correction factors."""
+    return _bound_driven_order(query, default_feedback())
+
+
+register_order_policy("bound", bound_order)
+register_order_policy("corrected", corrected_order)
+
+
+# ---------------------------------------------------------------------------
+# plan racing
+# ---------------------------------------------------------------------------
+
+#: Order policies whose (deduplicated) picks seed the candidate grid.
+RACE_POLICIES = ("appearance", "domain", "connected", "bound", "corrected")
+
+#: A challenger must beat the incumbent winner by this factor on the
+#: race sample to dethrone it — hysteresis against timing noise.
+HYSTERESIS = 1.25
+
+#: Below this projected sample time (ms) a race round is pure noise:
+#: nothing separates the candidates above the clock's resolution, so
+#: the race resolves deterministically — the incumbent if one is still
+#: racing, else the best-ranked candidate — rather than letting
+#: scheduler jitter crown (and later dethrone) arbitrary winners on
+#: micro-queries. Racing exists to correct big mistakes; a query whose
+#: every candidate finishes in under half a millisecond has none.
+MIN_SIGNAL_MS = 0.5
+
+
+@dataclass(frozen=True)
+class RaceContender:
+    """One raced candidate: its plan and last sampled wall time."""
+
+    plan: QueryPlan
+    sample_ms: float
+    eliminated_round: int  # 0 = won
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """The outcome of one race (or cache hit) for a query signature."""
+
+    winner: QueryPlan
+    contenders: tuple[RaceContender, ...] = ()
+    rounds: int = 0
+    raced: bool = False
+
+
+class PlanRacer:
+    """Races the top-K candidate plans on budgeted key-domain samples.
+
+    Candidates are every distinct (order policy pick, operator) pair,
+    ranked by their corrected worst-stage bound; the top ``top_k``
+    (plus the static planner's own choice, as a guard) race on a
+    :func:`~repro.parallel.slicing.sliced_instance` covering the first
+    ``sample_codes`` codes of each candidate's own level-0 axis.
+    Successive halving kills the slower half each round and grows the
+    sample by ``growth``; the survivor is cached per query signature
+    until the feedback epoch moves.
+    """
+
+    def __init__(self, store: "FeedbackStore | None" = None, *,
+                 top_k: int = 3, sample_codes: int = 64,
+                 growth: int = 4):
+        self.store = store if store is not None else default_feedback()
+        self.top_k = max(1, top_k)
+        self.sample_codes = max(1, sample_codes)
+        self.growth = max(2, growth)
+        #: scope -> (epoch at race time, winning plan).
+        self._winners: dict[tuple, tuple[int, QueryPlan]] = {}
+        self.races = 0
+
+    # -- candidate generation ----------------------------------------------
+
+    def candidates(self, query: "MultiModelQuery") -> list[QueryPlan]:
+        """The top-K candidate plans, ranked by corrected bound."""
+        operators = ["xjoin"] if query.twigs \
+            else ["generic_join", "leapfrog"]
+        seen: set[tuple] = set()
+        ranked: list[tuple[float, str, QueryPlan]] = []
+        for policy in RACE_POLICIES:
+            order = attribute_order(query, policy)
+            estimates = estimated_stage_sizes(query, order, self.store)
+            worst = max((e.cumulative for e in estimates), default=0.0)
+            for operator in operators:
+                key = (order, operator)
+                if key in seen:
+                    continue
+                seen.add(key)
+                plan = QueryPlan(order=order, algorithm=operator,
+                                 policy=policy)
+                ranked.append((worst, policy, plan))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        top = [plan for _, _, plan in ranked[:self.top_k]]
+        static = plan_query(query)
+        if (static.order, static.algorithm) not in {
+                (plan.order, plan.algorithm) for plan in top}:
+            top.append(replace(static, twig_algorithms=(),
+                               path_cardinalities=(),
+                               partitions=1, partition_axis=None))
+        return top
+
+    # -- the race ----------------------------------------------------------
+
+    def _sample_ms(self, query: "MultiModelQuery", plan: QueryPlan,
+                   sample_codes: int) -> float:
+        """Projected full-run milliseconds from a level-0 code sample.
+
+        The sample runs the kernel over a
+        :func:`~repro.parallel.slicing.sliced_instance` covering the
+        first ``sample_codes`` codes of the candidate's own level-0
+        axis, then extrapolates linearly to the axis' full code domain.
+        The normalisation matters: candidates root different
+        attributes, so without it a plan with a huge level-0 domain
+        races a tiny fraction of its work against another plan's full
+        run and looks spuriously fast.
+        """
+        from repro.parallel.slicing import sliced_instance
+
+        instance = EncodedInstance.from_query(query, plan.order)
+        axis = plan.order[0] if plan.order else None
+        dictionary = instance.dictionaries.get(axis) \
+            if axis is not None else None
+        domain = len(dictionary.values) if dictionary is not None else 0
+        sample = sliced_instance(instance, 0, sample_codes)
+        start = time.perf_counter()
+        get_algorithm(plan.algorithm).run(sample)
+        elapsed = (time.perf_counter() - start) * 1e3
+        covered = min(sample_codes, domain)
+        if domain and covered:
+            elapsed *= domain / covered
+        return elapsed
+
+
+    def race(self, query: "MultiModelQuery") -> RaceReport:
+        """The winning plan for *query* (cached while the epoch holds).
+
+        A previous winner re-races as the *incumbent* with hysteresis:
+        a challenger must beat it by :data:`HYSTERESIS` on the sample,
+        or the incumbent is re-crowned. Without this, near-tied
+        candidates flip with timing noise on small inputs — and every
+        flip executes a different order, mints new prefix-keyed
+        corrections, bumps the epoch, and forces yet another race.
+        """
+        scope = query_signature(query)
+        cached = self._winners.get(scope)
+        if cached is not None and cached[0] == self.store.epoch:
+            return RaceReport(winner=cached[1])
+        incumbent = cached[1] if cached is not None else None
+        contenders = self.candidates(query)
+        if incumbent is not None and \
+                (incumbent.order, incumbent.algorithm) not in {
+                    (plan.order, plan.algorithm) for plan in contenders}:
+            contenders.append(incumbent)
+        if len(contenders) == 1:
+            winner = contenders[0]
+            self._winners[scope] = (self.store.epoch, winner)
+            return RaceReport(winner=winner)
+
+        def same(plan: QueryPlan, other: "QueryPlan | None") -> bool:
+            return other is not None and \
+                (plan.order, plan.algorithm) == \
+                (other.order, other.algorithm)
+
+        self.races += 1
+        sample = self.sample_codes
+        alive = list(contenders)
+        report: dict[tuple, RaceContender] = {}
+        rounds = 0
+        winner: "QueryPlan | None" = None
+        while winner is None:
+            rounds += 1
+            timed = [(self._sample_ms(query, plan, sample), index, plan)
+                     for index, plan in enumerate(alive)]
+            timed.sort(key=lambda item: item[:2])
+            if timed[-1][0] < MIN_SIGNAL_MS:
+                # All candidates under the noise floor: keep whoever
+                # already holds the crown, else the best-ranked plan
+                # (``alive`` preserves the candidates' bound ranking
+                # in round one).
+                for ms, _, plan in timed:
+                    report[(plan.order, plan.algorithm)] = \
+                        RaceContender(plan, ms, 0)
+                winner = incumbent if incumbent is not None else alive[0]
+                break
+            keep = max(1, len(timed) // 2)
+            survivors = [plan for _, _, plan in timed[:keep]]
+            incumbent_ms = next(
+                (ms for ms, _, plan in timed
+                 if same(plan, incumbent)), None)
+            for position, (ms, _, plan) in enumerate(timed):
+                eliminated = 0 if position < keep else rounds
+                report[(plan.order, plan.algorithm)] = RaceContender(
+                    plan, ms, eliminated)
+            if incumbent_ms is not None and not any(
+                    same(plan, incumbent) for plan in survivors):
+                if timed[0][0] * HYSTERESIS >= incumbent_ms:
+                    # A statistical tie: the incumbent stays crowned.
+                    winner = incumbent
+                    break
+                incumbent = None  # beaten by a clear margin — out
+            if len(survivors) == 1:
+                winner = survivors[0]
+                break
+            alive = survivors
+            sample *= self.growth
+        self._winners[scope] = (self.store.epoch, winner)
+        return RaceReport(winner=winner,
+                          contenders=tuple(report.values()),
+                          rounds=rounds, raced=True)
+
+
+# ---------------------------------------------------------------------------
+# the adaptive planner facade
+# ---------------------------------------------------------------------------
+
+class AdaptivePlanner:
+    """Feedback loop + bound-driven ordering + plan racing, in one.
+
+    ``plan`` returns the raced (or cached) winner with corrected stage
+    estimates and corrected partition counts; ``execute`` runs it and
+    folds the observed stage sizes back into the store, which bumps the
+    epoch — and thereby triggers a future re-race — only when the
+    corrections moved materially. The loop therefore *converges*: once
+    observations match estimates, planning is a cache hit.
+    """
+
+    def __init__(self, store: "FeedbackStore | None" = None, *,
+                 race: bool = True, top_k: int = 3,
+                 sample_codes: int = 64):
+        self.store = store if store is not None else default_feedback()
+        self.race = race
+        self.racer = PlanRacer(self.store, top_k=top_k,
+                               sample_codes=sample_codes)
+
+    @property
+    def epoch(self) -> int:
+        """The store's current epoch (plan-cache key component)."""
+        return self.store.epoch
+
+    def plan(self, query: "MultiModelQuery", *,
+             workers: int = 0) -> QueryPlan:
+        """The adaptive plan: raced winner, corrected estimates and
+        partition counts, planner-chosen twig matchers."""
+        if self.race:
+            winner = self.racer.race(query).winner
+            plan = plan_query(query, order=winner.order,
+                              algorithm=winner.algorithm,
+                              workers=workers)
+            plan = replace(plan, policy=winner.policy)
+        else:
+            order = _bound_driven_order(query, self.store)
+            plan = plan_query(query, order=order, workers=workers)
+            plan = replace(plan, policy="corrected")
+        estimates = estimated_stage_sizes(query, plan.order, self.store)
+        plan = replace(plan, stage_estimates=tuple(
+            (e.attribute, int(round(e.cumulative))) for e in estimates))
+        if workers > 1 and plan.partition_axis is not None:
+            domain = statistics_for(query).domain_estimate(
+                plan.partition_axis)
+            corrected = self.store.corrected_domain_estimate(
+                query, plan.partition_axis, domain)
+            if corrected != domain:
+                from repro.engine.planner import choose_partitions
+
+                partitions, axis = choose_partitions(
+                    query, plan.order, workers,
+                    domain_estimate=corrected)
+                plan = replace(plan, partitions=partitions,
+                               partition_axis=axis)
+        return plan
+
+    def observe(self, query: "MultiModelQuery",
+                order: "tuple[str, ...]", stats: JoinStats) -> int:
+        """Fold one executed plan's counters into the store."""
+        return self.store.observe(query, order, stats)
+
+    def execute(self, query: "MultiModelQuery", *, workers: int = 0,
+                stats: JoinStats | None = None) -> "Relation":
+        """Plan adaptively, run, observe; returns the result relation."""
+        plan = self.plan(query, workers=workers)
+        stats = JoinStats() if stats is None else ensure_stats(stats)
+        result = run_query(query, order=plan.order,
+                           algorithm=plan.algorithm, stats=stats,
+                           workers=workers)
+        self.observe(query, plan.order, stats)
+        return result
+
+    def __repr__(self) -> str:
+        return (f"AdaptivePlanner(epoch {self.epoch}, "
+                f"{self.racer.races} races, race={self.race})")

@@ -16,6 +16,12 @@ Order policies, preserved from the pre-engine planner as named strategies:
 * ``connected`` — greedy: start from the attribute with the smallest
   candidate domain, then repeatedly pick an attribute sharing a hyperedge
   with the bound set, avoiding accidental cartesian expansions.
+
+Further policies register themselves through
+:func:`register_order_policy` — the adaptive layer
+(:mod:`repro.engine.adaptive`) adds ``bound`` (UES/AGM upper-bound
+driven) and ``corrected`` (bounds calibrated by runtime feedback) when
+:mod:`repro.engine` is imported.
 """
 
 from __future__ import annotations
@@ -260,6 +266,21 @@ ORDER_STRATEGIES: dict[str, Callable[["MultiModelQuery"],
 }
 
 
+def register_order_policy(name: str,
+                          strategy: Callable[["MultiModelQuery"],
+                                             tuple[str, ...]]) -> None:
+    """Register an order policy under *name* (idempotent re-registration
+    of the same callable is allowed; name collisions are an error).
+
+    Registered policies are first-class: ``attribute_order`` resolves
+    them, ``run_query(order=name)`` executes them, and the CLI's
+    ``--order`` flag accepts them."""
+    current = ORDER_STRATEGIES.get(name)
+    if current is not None and current is not strategy:
+        raise PlanError(f"order policy {name!r} is already registered")
+    ORDER_STRATEGIES[name] = strategy
+
+
 def attribute_order(query: "MultiModelQuery",
                     order: "str | tuple[str, ...] | list[str] | None" = None
                     ) -> tuple[str, ...]:
@@ -309,6 +330,10 @@ class QueryPlan:
     partitions: int = 1
     #: The attribute whose domain the partitions slice (None = serial).
     partition_axis: str | None = None
+    #: (attribute, estimated live tuples after its level) per stage —
+    #: filled by the adaptive planner / ``repro explain``; empty for
+    #: plain static plans.
+    stage_estimates: tuple[tuple[str, int], ...] = ()
 
     def twig_algorithm(self, twig_name: str) -> str | None:
         """The planned matcher for one twig input (None if unknown)."""
@@ -379,7 +404,9 @@ MIN_CODES_PER_MORSEL = 4
 
 def choose_partitions(query: "MultiModelQuery", order: tuple[str, ...],
                       workers: int, *,
-                      morsel_factor: int = 4) -> tuple[int, str | None]:
+                      morsel_factor: int = 4,
+                      domain_estimate: int | None = None
+                      ) -> tuple[int, str | None]:
     """Pick (morsel count, partition axis) from cached statistics.
 
     The axis is the resolved order's first attribute — the variable the
@@ -391,13 +418,26 @@ def choose_partitions(query: "MultiModelQuery", order: tuple[str, ...],
     :data:`MIN_CODES_PER_MORSEL` codes, where the batch kernels' speed
     makes morsel overhead the dominant cost. One partition means "run
     serially".
+
+    By default the axis domain is the static estimate scaled by any
+    (version-fresh) correction the default feedback store has learned
+    for the query's first level, so partition counts follow observed —
+    not nominal — cardinalities; pass ``domain_estimate`` to override.
     """
     if workers <= 1 or not order:
         return 1, None
     from repro.parallel.partition import choose_morsel_count
 
     axis = order[0]
-    domain = statistics_for(query).domain_estimate(axis)
+    if domain_estimate is not None:
+        domain = domain_estimate
+    else:
+        domain = statistics_for(query).domain_estimate(axis)
+        # Imported lazily: the adaptive layer sits above the planner.
+        from repro.engine.adaptive import default_feedback
+
+        domain = default_feedback().corrected_domain_estimate(
+            query, axis, domain)
     count = choose_morsel_count(workers, domain,
                                 morsel_factor=morsel_factor)
     count = min(count, max(1, domain // MIN_CODES_PER_MORSEL))

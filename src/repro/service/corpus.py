@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.core.multimodel import MultiModelQuery
 from repro.data.scenarios import bookstore_instance, figure1_query
-from repro.data.synthetic import agm_tight_triangle
+from repro.data.synthetic import agm_tight_triangle, skewed_triangle
 from repro.errors import ServiceError
 
 
@@ -53,6 +53,10 @@ def corpus_query(spec: str) -> MultiModelQuery:
       scenario (defaults ``orders=40``, ``users=12``, ``seed=0``).
     * ``triangle[:n=N]`` — the AGM-tight relational triangle
       (default ``n=8``; no documents, relational updates only).
+    * ``skewed[:n=N,b=D,c=M]`` — the skewed triangle whose static
+      stats pick a provably bad expansion order (default ``n=512``;
+      ``b``/``c`` override the hub-domain sizes) — the adaptive
+      planner's showcase and the ``repro explain`` default.
     """
     name, parameters = _parse_spec(spec)
     if name == "figure1":
@@ -65,6 +69,13 @@ def corpus_query(spec: str) -> MultiModelQuery:
     elif name == "triangle":
         n = _take(parameters, "n", 8)
         query = MultiModelQuery(agm_tight_triangle(n), [], name="triangle")
+    elif name == "skewed":
+        n = _take(parameters, "n", 512)
+        b = _take(parameters, "b", 0)
+        c = _take(parameters, "c", 0)
+        query = MultiModelQuery(
+            skewed_triangle(n, b_domain=b or None, c_domain=c or None),
+            [], name="skewed")
     else:
         raise ServiceError(
             "bad_request",
@@ -79,4 +90,4 @@ def corpus_query(spec: str) -> MultiModelQuery:
 
 def available_corpora() -> list[str]:
     """The corpus names :func:`corpus_query` accepts."""
-    return ["bookstore", "figure1", "triangle"]
+    return ["bookstore", "figure1", "skewed", "triangle"]

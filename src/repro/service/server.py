@@ -33,8 +33,10 @@ import sys
 from typing import Any
 
 from repro.core.multimodel import MultiModelQuery, TwigBinding
+from repro.engine.adaptive import AdaptivePlanner, FeedbackStore
 from repro.engine.planner import plan_query, run_query
 from repro.errors import ReproError, ServiceError
+from repro.instrumentation import JoinStats
 from repro.relational.relation import Relation
 from repro.service.cache import PlanCache
 from repro.service.corpus import corpus_query
@@ -62,7 +64,8 @@ class ReproService:
                  queue_limit: int = 32,
                  offload_threshold: int = 4096,
                  workers: int = 0,
-                 plan_cache: PlanCache | None = None):
+                 plan_cache: PlanCache | None = None,
+                 adaptive: bool = True):
         if isinstance(corpus, str):
             self.corpus_spec = corpus
             query = corpus_query(corpus)
@@ -73,6 +76,17 @@ class ReproService:
         self.master = QuerySession(query)
         self.sessions = SessionManager(quota)
         self.plan_cache = plan_cache or PlanCache()
+        #: The adaptive planner behind un-overridden snapshot queries:
+        #: races plans per query signature, learns cardinality
+        #: corrections from every executed snapshot query, and keys the
+        #: shared plan cache by its feedback epoch. Inputs are stamped
+        #: *logically* (the applied-batch count) because snapshot
+        #: queries run over detached per-snapshot clones: equal batch
+        #: counts are equal logical states, so corrections learned from
+        #: one tenant's snapshot apply to every tenant at that batch
+        #: count — and any applied batch retires them at once.
+        self.adaptive = AdaptivePlanner(store=FeedbackStore(
+            stamp_fn=self._logical_stamps)) if adaptive else None
         self.queue_limit = queue_limit
         #: Input-size floor (rows + nodes) above which a detached
         #: snapshot query is evaluated off the event-loop thread.
@@ -90,6 +104,15 @@ class ReproService:
         self._writer_task: "asyncio.Task | None" = None
         self._shutdown_event: "asyncio.Event | None" = None
         self._closing = False
+
+    def _logical_stamps(self, query: MultiModelQuery) -> dict[str, tuple]:
+        """Batch-count version stamps for the feedback store (see
+        ``adaptive`` in ``__init__``)."""
+        stamp = ("batches", self.batches_applied)
+        stamps = {relation.name: stamp for relation in query.relations}
+        for binding in query.twigs:
+            stamps[binding.name] = stamp
+        return stamps
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -252,6 +275,10 @@ class ReproService:
                 self._apply_op(session, op)
         self.batches_applied += 1
         self.updates_applied += len(ops)
+        if self.adaptive is not None:
+            # Retire cached plans built against the pre-batch stats:
+            # the epoch is part of every plan-cache key.
+            self.adaptive.store.bump_epoch()
         return self.batches_applied
 
     # -- the read path -----------------------------------------------------
@@ -261,17 +288,29 @@ class ReproService:
                   order: "str | tuple | None") -> tuple[str, tuple]:
         """(algorithm, order) via the shared plan cache.
 
-        Keyed by (corpus, batch count, overrides): any two sessions at
-        the same batch count hold identical logical state, so their
-        plans are interchangeable — including across tenants, which is
-        what makes the cache worth sharing.
+        Keyed by (corpus, batch count, stats epoch, overrides): any two
+        sessions at the same batch count hold identical logical state,
+        so their plans are interchangeable — including across tenants,
+        which is what makes the cache worth sharing. The stats-epoch
+        component (bumped by the feedback loop on material correction
+        changes and by every applied update batch) keys out plans built
+        against drifted statistics instead of serving them forever.
+
+        Un-overridden queries are planned by the adaptive planner — the
+        raced winner is what lands in the shared cache, so tenants
+        hitting the cache benefit from a race they never ran.
         """
         order_key = tuple(order) if isinstance(order, list) else order
-        key = (self.corpus_spec, batches, algorithm, order_key)
+        epoch = self.adaptive.epoch if self.adaptive is not None else -1
+        key = (self.corpus_spec, batches, epoch, algorithm, order_key)
         cached = self.plan_cache.get(key)
         if cached is not None:
             return cached
-        plan = plan_query(query, algorithm=algorithm, order=order)
+        if self.adaptive is not None and algorithm is None \
+                and order is None:
+            plan = self.adaptive.plan(query)
+        else:
+            plan = plan_query(query, algorithm=algorithm, order=order)
         resolved = (plan.algorithm, plan.order)
         self.plan_cache.put(key, resolved)
         return resolved
@@ -302,16 +341,24 @@ class ReproService:
         # the snapshot no longer touches anything the writer mutates.
         snapshot.detach()
         query = snapshot.query()
+        adaptive_run = (self.adaptive is not None and algorithm is None
+                        and order is None)
         algorithm, order = self._plan_for(query, batches, algorithm, order)
+        stats = JoinStats() if adaptive_run else None
         if self._query_cost(query) >= self.offload_threshold:
             self.offloaded_queries += 1
             relation = await asyncio.to_thread(
                 run_query, query, algorithm=algorithm, order=order,
-                workers=self.workers)
+                workers=self.workers, stats=stats)
             offloaded = True
         else:
-            relation = run_query(query, algorithm=algorithm, order=order)
+            relation = run_query(query, algorithm=algorithm, order=order,
+                                 stats=stats)
             offloaded = False
+        if adaptive_run and stats is not None:
+            # Close the feedback loop: fold this query's observed stage
+            # sizes into the shared correction store.
+            self.adaptive.observe(query, tuple(order), stats)
         return {"rows": rows_to_wire(relation.rows),
                 "attributes": list(relation.schema.attributes),
                 "version": snapshot.version, "batches": batches,
@@ -447,6 +494,9 @@ class ReproService:
                             if self._queue is not None else 0),
             "tenants": self.sessions.counts(),
             "plan_cache": self.plan_cache.stats(),
+            "adaptive": (dict(self.adaptive.store.stats(),
+                              races=self.adaptive.racer.races)
+                         if self.adaptive is not None else None),
         }
 
     async def _op_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:

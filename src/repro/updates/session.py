@@ -60,9 +60,19 @@ class QuerySession:
     def __init__(self, query: MultiModelQuery, *,
                  churn_threshold: float = 0.5,
                  overflow_threshold: float = 0.25,
-                 workers: int = 0):
+                 workers: int = 0,
+                 feedback: "object | None" = None,
+                 feedback_churn_fraction: float = 0.25):
         self.query = query
         self.workers = max(0, workers)
+        #: Optional :class:`~repro.engine.adaptive.FeedbackStore`: the
+        #: session refreshes its version stamps exactly when it
+        #: refreshes its maintained statistics — small deltas inherit
+        #: the learned corrections, churn bursts (a relational delta
+        #: above ``feedback_churn_fraction`` of the input, or a document
+        #: edit that forced a columnar rebuild) invalidate them.
+        self.feedback = feedback
+        self._feedback_churn_fraction = feedback_churn_fraction
         self.version = 0
         self.relations: dict[str, VersionedRelation] = {
             relation.name: VersionedRelation(relation)
@@ -135,6 +145,11 @@ class QuerySession:
                 self.query.relations[position] = versioned.relation
         self._propagate(name, versioned.relation.schema.attributes,
                         added=delta.inserted, removed=delta.deleted)
+        if self.feedback is not None:
+            moved = len(delta.inserted) + len(delta.deleted)
+            size = max(1, len(versioned.relation))
+            churn = moved > self._feedback_churn_fraction * size
+            self.feedback.note_input_update(self.query, name, churn=churn)
         return delta
 
     # -- document updates --------------------------------------------------
@@ -174,6 +189,7 @@ class QuerySession:
             roots = candidate_roots(binding.twig, before_anchor,
                                     include_subtree=before_subtree)
             before[binding.name] = answer.snapshot(roots)
+        rebuilds_before = editor.rebuilds
         delta = edit_fn()
         for binding in bindings:
             answer = self.answers[binding.name]
@@ -187,6 +203,14 @@ class QuerySession:
                             added=added, removed=removed)
         if not bindings:
             self._bump()
+        if self.feedback is not None:
+            # A rebuild means the columnar view (and its statistics)
+            # were reconstructed wholesale — churn; an in-place patch
+            # inherits the corrections under the new document version.
+            churn = editor.rebuilds > rebuilds_before
+            for binding in bindings:
+                self.feedback.note_input_update(self.query, binding.name,
+                                                churn=churn)
         return delta
 
     def insert_subtree(self, twig_name: str, parent: XMLNode,

@@ -261,7 +261,8 @@ class TestPlanCache:
             service = ReproService("figure1")
             first = await open_session(service, "a")
             second = await open_session(service, "b")
-            for tenant, sid in (("a", first), ("b", second), ("a", first)):
+            for tenant, sid in (("a", first), ("b", second),
+                                ("a", first), ("b", second)):
                 pinned = await call(service, op="pin", tenant=tenant,
                                     session=sid)
                 response = await call(service, op="query", tenant=tenant,
@@ -273,10 +274,48 @@ class TestPlanCache:
                            session=sid, snapshot=pinned["snapshot"])
             stats = await call(service, op="stats")
             cache = stats["plan_cache"]
-            # Admission threshold 2: miss, miss+admit, then a hit — the
-            # third tenant-request is served from the shared cache.
+            # The first executed query's feedback bumps the stats epoch
+            # (keys are epoch-stamped), after which identical
+            # observations keep it stable; admission threshold 2 then
+            # gives miss, miss, miss+admit, hit — the fourth
+            # tenant-request is served from the shared cache.
             assert cache["hits"] == 1
             assert cache["admitted"] == 1
+            assert stats["adaptive"]["observations"] == 4
+        run(scenario)
+
+    def test_epoch_bump_keys_out_cached_plans(self):
+        async def scenario():
+            service = ReproService("figure1")
+            sid = await open_session(service)
+
+            async def snapshot_query():
+                pinned = await call(service, op="pin", tenant="t",
+                                    session=sid)
+                response = await call(service, op="query", tenant="t",
+                                      session=sid,
+                                      snapshot=pinned["snapshot"],
+                                      evaluate=True)
+                assert response["ok"]
+                await call(service, op="release", tenant="t",
+                           session=sid, snapshot=pinned["snapshot"])
+
+            for _ in range(4):  # converge to a cache hit (see above)
+                await snapshot_query()
+            stats = await call(service, op="stats")
+            assert stats["plan_cache"]["hits"] == 1
+            # A stats-drift epoch bump (what every applied update batch
+            # does) must key the cached plan out: the next identical
+            # query is a miss, not a stale hit.
+            service.adaptive.store.bump_epoch()
+            await snapshot_query()
+            stats = await call(service, op="stats")
+            assert stats["plan_cache"]["hits"] == 1  # miss — no new hit
+            # With the epoch stable again the cache re-converges.
+            await snapshot_query()
+            await snapshot_query()
+            stats = await call(service, op="stats")
+            assert stats["plan_cache"]["hits"] == 2
         run(scenario)
 
     def test_stats_shape(self):

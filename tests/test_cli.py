@@ -54,6 +54,28 @@ class TestCLI:
                                    "median_ms", "speedup"}
             assert record["median_ms"] >= 0
 
+    def test_explain_default_is_skewed(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for 'skewed'" in out
+        assert "order:" in out and "operator:" in out
+        assert "observed" in out
+        assert "after observation" in out
+
+    def test_explain_multimodel_spec(self, capsys):
+        assert main(["explain", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "xjoin" in out
+        assert "twig:" in out
+
+    def test_explain_unknown_corpus_exits_two(self, capsys):
+        assert main(["explain", "nope"]) == 2
+        assert "unknown corpus" in capsys.readouterr().err
+
+    def test_explain_workers_shapes_partitions(self, capsys):
+        assert main(["explain", "skewed:n=2048", "--workers", "4"]) == 0
+        assert "partitions:" in capsys.readouterr().out
+
     def test_json_flag_rejected_outside_bench(self, capsys):
         assert main(["selftest", "--json"]) == 2
         assert "--json" in capsys.readouterr().err
