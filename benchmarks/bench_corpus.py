@@ -1,0 +1,52 @@
+"""Larger-than-RAM corpora: streamed file-arena build vs in-memory.
+
+The acceptance gates of the streamed-build path
+(:mod:`repro.xml.streaming` + :mod:`repro.buffers.mmapfile`):
+
+* twig query rows over the cold-attached file arena must equal the
+  in-memory build's rows exactly (the SAX path is byte-faithful to the
+  parser);
+* the streamed build's subprocess peak RSS must stay at or below
+  :data:`repro.data.bench.RSS_RATIO_TARGET` of the in-memory build at
+  the same record count — the arena grows on disk, the heap does not;
+* the run must leave no ``repro-arena-`` temp files behind.
+
+Build and first-query wall times are reported ungated: the streamed
+build trades some throughput for bounded memory, and that trade is the
+subsystem's point, not a regression.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.data.bench import (
+    RSS_RATIO_TARGET,
+    CorpusScenarioResult,
+    dblp_corpus_scenario,
+)
+
+
+def _report(result: CorpusScenarioResult) -> None:
+    rows = [[timing.label, f"{timing.inmemory_ms:.1f}ms",
+             f"{timing.streamed_ms:.1f}ms"]
+            for timing in result.timings]
+    rows.append(["peak RSS (subprocess)",
+                 f"{result.inmemory_peak_kb / 1024:.1f}MB",
+                 f"{result.streamed_peak_kb / 1024:.1f}MB"])
+    report_table(f"Corpus: {result.title}",
+                 ["workload", "in-memory", "streamed arena"], rows)
+
+
+def test_streamed_corpus_build():
+    """DBLP 8k records: parity, bounded RSS, clean arena tempdir."""
+    result = dblp_corpus_scenario(8000)
+    _report(result)
+    assert result.consistent, \
+        f"{result.title}: streamed-arena rows diverged from in-memory"
+    assert result.meets_rss_target, (
+        f"{result.title}: streamed peak RSS ratio {result.rss_ratio:.2f} "
+        f"exceeds the {RSS_RATIO_TARGET:g} target "
+        f"({result.streamed_peak_kb} vs {result.inmemory_peak_kb} KiB)")
+    assert not result.leaked, \
+        f"{result.title}: leaked arena temp files {result.leaked!r}"

@@ -17,7 +17,10 @@ Commands:
   1/4/16 concurrent clients under a background update stream;
   ``--suite planner`` races the static planner's plan against the
   adaptive feedback-driven planner on the skewed triangle and an
-  XMark multi-model scenario)
+  XMark multi-model scenario; ``--suite corpus`` streams a DBLP-style
+  corpus into a file-backed mmap arena and reports build throughput,
+  cold-attach query latency and subprocess peak RSS against the
+  in-memory build)
 * ``explain [corpus-spec]`` — print the adaptive planner's chosen plan
   for a corpus spec (default ``skewed``): expansion order, operator,
   partitions, and per-stage estimated vs observed cardinalities from
@@ -35,7 +38,8 @@ Options:
   multi-model scenarios. Applies to ``figure3``, ``bench`` and
   ``selftest``.
 * ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig``,
-  ``updates``, ``parallel``, ``buffers``, ``service`` or ``planner``.
+  ``updates``, ``parallel``, ``buffers``, ``service``, ``planner`` or
+  ``corpus``.
 * ``--workers N`` — worker processes for partition-parallel execution
   (default 0 = serial). ``bench --suite parallel`` races serial against
   this pool size; ``selftest`` additionally checks parallel/serial
@@ -43,7 +47,8 @@ Options:
   queries to this pool; ``explain`` shows the partition count the
   adaptive planner would choose for this pool size.
 * ``--corpus SPEC`` — ``serve``: the hosted corpus, e.g. ``figure1``
-  (default), ``bookstore:orders=40,users=12`` or ``triangle:n=8``.
+  (default), ``bookstore:orders=40,users=12``, ``triangle:n=8``,
+  ``dblp:5000`` or ``xmark-stream:4``.
 * ``--host H`` / ``--port P`` — ``serve``: TCP bind address (default
   ``127.0.0.1``, port 0 = kernel-chosen, printed on startup).
 * ``--stdio`` — ``serve``: speak the protocol over stdin/stdout
@@ -374,6 +379,59 @@ def cmd_bench_service(n: int = 12, records: list | None = None) -> int:
     return 0
 
 
+def cmd_bench_corpus(n: int = 8000, records: list | None = None) -> int:
+    """Stream a DBLP-style corpus into a file-backed mmap arena (shared
+    with ``benchmarks/bench_corpus.py`` through :mod:`repro.data.bench`):
+    streamed-build throughput and cold-attach query latency against the
+    in-memory parse, plus subprocess peak RSS of both build paths. Row
+    parity, the RSS ratio and a clean arena tempdir are fatal."""
+    from repro.data.bench import RSS_RATIO_TARGET, dblp_corpus_scenario
+
+    # Floor: below ~4k records the interpreter's baseline RSS drowns
+    # the tree-vs-arena difference and the ratio gate is meaningless.
+    result = dblp_corpus_scenario(max(n, 4000))
+    print(f"corpus suite: {result.title}; streamed build must hold "
+          f"peak RSS <= {RSS_RATIO_TARGET:g}x the in-memory build")
+    for timing in result.timings:
+        print(f"  {timing.label:<14} in-memory {timing.inmemory_ms:8.1f}ms"
+              f"   streamed {timing.streamed_ms:8.1f}ms")
+        if records is not None:
+            _record(records, result.title, timing.label,
+                    timing.streamed_ms,
+                    timing.inmemory_ms / max(timing.streamed_ms, 1e-9))
+    build = result.timings[0]
+    throughput = result.nodes / max(build.streamed_ms / 1e3, 1e-9)
+    print(f"  streamed build {throughput:,.0f} nodes/s into "
+          f"{result.arena_bytes / 1e6:.1f}MB on disk")
+    print(f"  peak RSS       in-memory {result.inmemory_peak_kb / 1024:8.1f}MB"
+          f"   streamed {result.streamed_peak_kb / 1024:8.1f}MB"
+          f"   ratio {result.rss_ratio:.2f}")
+    if records is not None:
+        records.append({
+            "scenario": result.title, "workload": "peak RSS",
+            "median_ms": None, "speedup": None,
+            "nodes": result.nodes,
+            "arena_bytes": result.arena_bytes,
+            "build_nodes_per_s": round(throughput),
+            "inmemory_peak_kb": result.inmemory_peak_kb,
+            "streamed_peak_kb": result.streamed_peak_kb,
+            "rss_ratio": round(result.rss_ratio, 3)})
+    failures = 0
+    if not result.consistent:
+        print("error: streamed-arena query rows diverged from the "
+              "in-memory build", file=sys.stderr)
+        failures += 1
+    if not result.meets_rss_target:
+        print(f"error: streamed build peak RSS ratio {result.rss_ratio:.2f} "
+              f"exceeds the {RSS_RATIO_TARGET:g} target", file=sys.stderr)
+        failures += 1
+    if result.leaked:
+        print(f"error: leaked arena temp files {list(result.leaked)!r}",
+              file=sys.stderr)
+        failures += 1
+    return 1 if failures else 0
+
+
 def cmd_bench_planner(n: int = 4096, records: list | None = None) -> int:
     """Race the static planner's plan against the adaptive planner
     (shared with ``benchmarks/bench_planner.py`` through
@@ -644,7 +702,7 @@ def main(argv: list[str] | None = None) -> int:
                                twig_algorithm)
         if command == "bench":
             suites = ("engine", "twig", "updates", "parallel", "buffers",
-                      "service", "planner")
+                      "service", "planner", "corpus")
             if suite not in (None,) + suites:
                 print(f"error: unknown bench suite {suite!r}; choose from "
                       f"{list(suites)!r}", file=sys.stderr)
@@ -670,6 +728,9 @@ def main(argv: list[str] | None = None) -> int:
             elif suite == "planner":
                 rc = cmd_bench_planner(_int_argument(command, args, 4096),
                                        records)
+            elif suite == "corpus":
+                rc = cmd_bench_corpus(_int_argument(command, args, 8000),
+                                      records)
             elif suite == "twig":
                 rc = cmd_bench_twig(_int_argument(command, args, 150),
                                     twig_algorithm, records)

@@ -1,0 +1,443 @@
+"""File-backed mmap arenas: build once on disk, attach zero-copy.
+
+A :class:`FileArena` is the on-disk sibling of
+:class:`~repro.buffers.shm.SharedArena` — byte-for-byte the same
+layout::
+
+    [8-byte little-endian header length]
+    [pickled header: (meta object, directory)]
+    [16-byte-aligned typed buffers, one per directory entry]
+
+but the bytes live in an ordinary file instead of a ``/dev/shm``
+segment. Attachers open a **read-only** ``mmap`` and cast typed
+``memoryview`` windows over it, so a corpus larger than RAM serves
+queries through the page cache: only the pages a query touches are
+ever resident, and the mapping is exempt from ``RLIMIT_DATA`` (which
+is how the CI smoke proves the build+query peak heap stays bounded).
+
+The :class:`ArenaWriter` is the build-once half: a bump-allocating
+writer that streams columns to per-column spill files as values are
+appended (bounded tail buffers, never the whole column in memory),
+supports backpatching already-appended slots (``set_at`` — the
+streaming XML builder patches ``end`` labels when elements close), and
+assembles the final header-first arena file on :meth:`finish`.
+
+Lifecycle mirrors the shm arena: the publisher (the process that
+called :meth:`ArenaWriter.finish` or :meth:`FileArena.publish`) owns
+the file and must :meth:`close` + :meth:`unlink` it; attachers only
+:meth:`close`. Every temporary path carries the ``repro-arena-``
+prefix so leak checks can assert the temp directory is clean after a
+run (:func:`leaked_arena_files`).
+"""
+
+from __future__ import annotations
+
+import glob
+import mmap
+import os
+import pickle
+import secrets
+import shutil
+import tempfile
+from array import array
+from collections.abc import Mapping, Sequence
+from contextlib import contextmanager
+from typing import Any
+
+from repro.buffers.layout import typecode_for
+from repro.buffers.shm import _LEN, _aligned
+from repro.errors import TransportError
+
+#: Temp-name prefix for arena files and spill directories; the CI leak
+#: check globs the temp directory for leftovers after every run.
+ARENA_PREFIX = "repro-arena-"
+
+#: Items buffered in a column's in-memory tail before a spill write.
+DEFAULT_CHUNK_ITEMS = 16384
+
+
+def arena_temp_path() -> str:
+    """A fresh leak-checkable arena file path in the temp directory."""
+    return os.path.join(tempfile.gettempdir(),
+                        f"{ARENA_PREFIX}{os.getpid()}-"
+                        f"{secrets.token_hex(4)}.arena")
+
+
+def leaked_arena_files() -> list[str]:
+    """Leftover ``repro-arena-`` paths in the temp directory."""
+    return sorted(glob.glob(os.path.join(tempfile.gettempdir(),
+                                         ARENA_PREFIX + "*")))
+
+
+def _as_array(buf: Any) -> array:
+    """*buf* as an ``array`` (publication needs typecode + bytes)."""
+    if isinstance(buf, array):
+        return buf
+    if isinstance(buf, memoryview):
+        out = array(buf.format)
+        out.extend(buf)
+        return out
+    values = list(buf)
+    hi = max(values, default=0)
+    lo = min(min(values, default=0), 0)
+    return array(typecode_for(hi, lo), values)
+
+
+class FileArena:
+    """One published (or attached) file-backed buffer pool."""
+
+    __slots__ = ("path", "owner", "_file", "_mm", "_base", "_meta",
+                 "_directory", "_views", "_data_start", "_closed")
+
+    def __init__(self, path: str, file, mm: mmap.mmap, meta: Any,
+                 directory: dict, *, owner: bool, data_start: int):
+        self.path = path
+        self.owner = owner
+        self._file = file
+        self._mm = mm
+        self._base = memoryview(mm)
+        self._meta = meta
+        self._directory = directory
+        self._views: dict[str, memoryview] = {}
+        self._data_start = data_start
+        self._closed = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def publish(cls, buffers: "Mapping[str, Sequence[int]]",
+                meta: Any = None, path: str | None = None) -> "FileArena":
+        """Write *buffers* + pickled *meta* to *path* and attach owning.
+
+        The in-memory convenience constructor (mirrors
+        :meth:`SharedArena.publish`); corpus-scale builds stream through
+        :class:`ArenaWriter` instead. The caller must eventually
+        :meth:`close` and :meth:`unlink` the returned arena.
+        """
+        writer = ArenaWriter(path=path)
+        try:
+            for key, buf in buffers.items():
+                writer.add_buffer(key, buf)
+            return writer.finish(meta)
+        except BaseException:
+            writer.abort()
+            raise
+
+    @classmethod
+    def attach(cls, path: str, *, owner: bool = False) -> "FileArena":
+        """Open *path* read-only and map it (zero-copy attachment).
+
+        A vanished file, or one that is not an arena, raises
+        :class:`~repro.errors.TransportError` naming the path and the
+        owning transport (the error-routing contract of the shm layer).
+        """
+        try:
+            file = open(path, "rb")
+        except FileNotFoundError as exc:
+            raise TransportError(
+                f"file arena {path!r} has vanished or was never "
+                f"published (mmap transport)") from exc
+        try:
+            mm = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+            header_len = _LEN.unpack_from(mm, 0)[0]
+            meta, directory = pickle.loads(
+                mm[_LEN.size:_LEN.size + header_len])
+        except TransportError:
+            file.close()
+            raise
+        except Exception as exc:
+            file.close()
+            raise TransportError(
+                f"file {path!r} is not a readable arena "
+                f"(mmap transport): {exc}") from exc
+        return cls(path, file, mm, meta, directory, owner=owner,
+                   data_start=_aligned(_LEN.size + header_len))
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def meta(self) -> Any:
+        """The meta object pickled into the arena (once, by the owner)."""
+        return self._meta
+
+    def keys(self) -> list[str]:
+        """The published buffer names."""
+        return list(self._directory)
+
+    def buffer(self, key: str) -> memoryview:
+        """A zero-copy typed ``memoryview`` of one published buffer."""
+        if self._closed:
+            raise TransportError(
+                f"file arena {self.path!r} is closed (mmap transport)")
+        view = self._views.get(key)
+        if view is None:
+            typecode, rel, count = self._directory[key]
+            lo = self._data_start + rel
+            itemsize = array(typecode).itemsize
+            view = self._base[lo:lo + count * itemsize].cast(typecode)
+            self._views[key] = view
+        return view
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every exported view and the process-local mapping."""
+        if self._closed:
+            return
+        self._closed = True
+        for view in self._views.values():
+            view.release()
+        self._views.clear()
+        self._base.release()
+        try:
+            self._mm.close()
+        except BufferError:
+            # Straggler views exported from the mapping keep it alive;
+            # the OS reclaims it at process exit (same discipline as
+            # SharedArena.close).
+            pass
+        self._file.close()
+
+    def unlink(self) -> None:
+        """Delete the arena file (owner only; attachments just close)."""
+        if self.owner:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "FileArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    def __repr__(self) -> str:
+        return (f"FileArena({self.path!r}, {len(self._directory)} "
+                f"buffers, owner={self.owner})")
+
+
+class ColumnWriter:
+    """One typed column streamed to a spill file as values arrive.
+
+    Appends buffer into a bounded in-memory tail that flushes to the
+    (unbuffered) spill file every ``chunk_items`` values, so building a
+    column of N values holds O(chunk) values in memory. ``set_at``
+    backpatches an already-appended slot — in the unflushed tail by
+    mutation, in the flushed region by ``os.pwrite`` — which is how the
+    streaming XML builder fills ``end`` labels on element close.
+    """
+
+    __slots__ = ("name", "typecode", "itemsize", "path", "_file",
+                 "_tail", "_flushed", "_chunk")
+
+    def __init__(self, name: str, typecode: str, spill_dir: str,
+                 chunk_items: int = DEFAULT_CHUNK_ITEMS):
+        self.name = name
+        self.typecode = typecode
+        self.itemsize = array(typecode).itemsize
+        self.path = os.path.join(spill_dir, f"{name}.col")
+        # Unbuffered: set_at's pwrite must never interleave with
+        # buffered tail flushes.
+        self._file = open(self.path, "w+b", buffering=0)
+        self._tail = array(typecode)
+        self._flushed = 0
+        self._chunk = max(1, chunk_items)
+
+    def __len__(self) -> int:
+        return self._flushed + len(self._tail)
+
+    def append(self, value: int) -> int:
+        """Append *value*; returns its index in the column."""
+        index = self._flushed + len(self._tail)
+        self._tail.append(value)
+        if len(self._tail) >= self._chunk:
+            self.flush()
+        return index
+
+    def extend(self, values) -> None:
+        """Append every value (flushing full tails as they fill)."""
+        for value in values:
+            self._tail.append(value)
+            if len(self._tail) >= self._chunk:
+                self.flush()
+
+    def set_at(self, index: int, value: int) -> None:
+        """Backpatch the value at *index* (appended earlier)."""
+        if index >= self._flushed:
+            self._tail[index - self._flushed] = value
+        else:
+            os.pwrite(self._file.fileno(),
+                      array(self.typecode, [value]).tobytes(),
+                      index * self.itemsize)
+
+    def flush(self) -> None:
+        """Spill the in-memory tail to the column file."""
+        if self._tail:
+            self._file.write(self._tail.tobytes())
+            self._flushed += len(self._tail)
+            del self._tail[:]
+
+    @contextmanager
+    def snapshot(self):
+        """A read-only typed view over everything appended so far.
+
+        Flushes, then maps the spill file — random access without
+        loading the column on the heap (the finish-time posting gather
+        reads ``starts``/``ends`` this way).
+        """
+        self.flush()
+        if not self._flushed:
+            yield memoryview(array(self.typecode))
+            return
+        mm = mmap.mmap(self._file.fileno(),
+                       self._flushed * self.itemsize,
+                       access=mmap.ACCESS_READ)
+        view = memoryview(mm).cast(self.typecode)
+        try:
+            yield view
+        finally:
+            view.release()
+            mm.close()
+
+    def write_into(self, out) -> int:
+        """Stream the whole column into *out*; returns bytes written."""
+        self.flush()
+        self._file.seek(0)
+        shutil.copyfileobj(self._file, out, 1024 * 1024)
+        return self._flushed * self.itemsize
+
+    def discard(self) -> None:
+        """Close and delete the spill file."""
+        self._file.close()
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+class _ConcatColumns:
+    """A directory entry assembled from several spilled columns.
+
+    The streaming builder spills one nid bucket per tag (or path) and
+    registers their concatenation as the single CSR data buffer; parts
+    are streamed back-to-back at finish, never joined in memory.
+    """
+
+    __slots__ = ("typecode", "parts")
+
+    def __init__(self, typecode: str, parts: "list[ColumnWriter]"):
+        self.typecode = typecode
+        self.parts = parts
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def write_into(self, out) -> int:
+        total = 0
+        for part in self.parts:
+            total += part.write_into(out)
+        return total
+
+
+class ArenaWriter:
+    """Bump-allocating, build-once writer for a :class:`FileArena`.
+
+    Register streamed columns with :meth:`column` (spilled to a
+    ``repro-arena-`` temp directory as they grow), small in-memory
+    buffers with :meth:`add_buffer`, and CSR concatenations with
+    :meth:`concat`; :meth:`finish` lays the header + every buffer into
+    the final arena file in registration order, removes the spill
+    directory, and returns the **owning** attached arena. On failure
+    call :meth:`abort` to reclaim the spill space.
+    """
+
+    def __init__(self, path: str | None = None, *,
+                 chunk_items: int = DEFAULT_CHUNK_ITEMS):
+        self.path = path or arena_temp_path()
+        self.chunk_items = chunk_items
+        self._spill_dir = tempfile.mkdtemp(prefix=ARENA_PREFIX + "spill-")
+        self._entries: "dict[str, Any]" = {}
+        self._columns: "list[ColumnWriter]" = []
+        self._finished = False
+
+    def column(self, name: str, typecode: str, *,
+               chunk_items: int | None = None,
+               register: bool = True) -> ColumnWriter:
+        """A new streamed column; registered as a buffer unless
+        ``register=False`` (spill-only, e.g. posting buckets that only
+        appear through a later :meth:`concat`)."""
+        writer = ColumnWriter(name, typecode, self._spill_dir,
+                              chunk_items or self.chunk_items)
+        self._columns.append(writer)
+        if register:
+            self._register(name, writer)
+        return writer
+
+    def add_buffer(self, name: str, buf) -> None:
+        """Register a small in-memory buffer (array/list/memoryview)."""
+        self._register(name, _as_array(buf))
+
+    def concat(self, name: str, typecode: str,
+               parts: "list[ColumnWriter]") -> None:
+        """Register the back-to-back concatenation of spilled columns."""
+        self._register(name, _ConcatColumns(typecode, parts))
+
+    def _register(self, name: str, entry) -> None:
+        if name in self._entries:
+            raise ValueError(f"duplicate arena buffer {name!r}")
+        self._entries[name] = entry
+
+    def finish(self, meta: Any = None) -> FileArena:
+        """Assemble the arena file; returns the owning attached arena."""
+        if self._finished:
+            raise ValueError("ArenaWriter.finish called twice")
+        directory: "dict[str, tuple[str, int, int]]" = {}
+        offset = 0
+        for name, entry in self._entries.items():
+            typecode = entry.typecode
+            count = len(entry)
+            offset = _aligned(offset)
+            directory[name] = (typecode, offset, count)
+            offset += count * array(typecode).itemsize
+        header = pickle.dumps((meta, directory),
+                              protocol=pickle.HIGHEST_PROTOCOL)
+        data_start = _aligned(_LEN.size + len(header))
+        with open(self.path, "wb") as out:
+            out.write(_LEN.pack(len(header)))
+            out.write(header)
+            position = _LEN.size + len(header)
+            for name, entry in self._entries.items():
+                _tc, rel, _count = directory[name]
+                target = data_start + rel
+                if target > position:
+                    out.write(b"\0" * (target - position))
+                    position = target
+                if isinstance(entry, array):
+                    data = memoryview(entry).cast("B")
+                    out.write(data)
+                    position += len(data)
+                else:
+                    position += entry.write_into(out)
+        self._cleanup()
+        self._finished = True
+        return FileArena.attach(self.path, owner=True)
+
+    def abort(self) -> None:
+        """Discard the spill files and any partially written arena."""
+        if self._finished:
+            return
+        self._cleanup()
+        self._finished = True
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def _cleanup(self) -> None:
+        for column in self._columns:
+            column.discard()
+        self._columns.clear()
+        shutil.rmtree(self._spill_dir, ignore_errors=True)

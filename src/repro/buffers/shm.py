@@ -31,11 +31,14 @@ import os
 import pickle
 import secrets
 import struct
+import threading
 from array import array
 from collections.abc import Mapping
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Any
+
+from repro.errors import TransportError
 
 #: Segment-name prefix; the CI smoke greps /dev/shm for leftovers.
 SEGMENT_PREFIX = "repro-buf"
@@ -49,6 +52,49 @@ def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
 
 
+#: Guards the one-time install of the resource-tracker shim.
+_TRACKER_LOCK = threading.Lock()
+_TRACKER_SHIM_INSTALLED = False
+
+#: Per-thread attach-nesting depth: the shim skips registration only
+#: for the thread that is actually inside an attach, so a concurrent
+#: publisher's *create* on another thread still registers normally.
+_ATTACH_DEPTH = threading.local()
+
+
+def _install_tracker_shim() -> None:
+    """Install the skip-shim over ``resource_tracker.register`` once.
+
+    The shim is permanent (never uninstalled) and consults the calling
+    thread's attach depth, so installs race-free under concurrent
+    ``asyncio.to_thread`` attaches — the previous implementation swapped
+    the global function in and restored it on exit, which let one
+    thread restore the original while another was mid-attach (or
+    clobber the shim with a stale reference permanently).
+    """
+    global _TRACKER_SHIM_INSTALLED
+    if _TRACKER_SHIM_INSTALLED:
+        return
+    with _TRACKER_LOCK:
+        if _TRACKER_SHIM_INSTALLED:
+            return
+        try:
+            from multiprocessing import resource_tracker
+        except ImportError:  # pragma: no cover - tracker absent
+            _TRACKER_SHIM_INSTALLED = True
+            return
+        original = resource_tracker.register
+
+        def _register(name: str, rtype: str) -> None:
+            if rtype == "shared_memory" \
+                    and getattr(_ATTACH_DEPTH, "depth", 0) > 0:
+                return
+            original(name, rtype)
+
+        resource_tracker.register = _register
+        _TRACKER_SHIM_INSTALLED = True
+
+
 @contextmanager
 def _untracked():
     """Suppress resource-tracker registration while attaching.
@@ -60,23 +106,19 @@ def _untracked():
     deregister the same name. Skipping the registration (the documented
     workaround for bpo-39959) keeps the tracker's books balanced: only
     the publisher's create is ever registered.
+
+    Thread-safe: the shim installs process-wide exactly once (under
+    :data:`_TRACKER_LOCK`) and skips only on threads whose attach depth
+    is non-zero, so concurrent attaches never race on the global
+    ``register`` binding.
     """
-    try:
-        from multiprocessing import resource_tracker
-    except ImportError:  # pragma: no cover - non-POSIX / tracker absent
-        yield
-        return
-    original = resource_tracker.register
-
-    def _skip(name: str, rtype: str) -> None:
-        if rtype != "shared_memory":
-            original(name, rtype)
-
-    resource_tracker.register = _skip
+    _install_tracker_shim()
+    depth = getattr(_ATTACH_DEPTH, "depth", 0)
+    _ATTACH_DEPTH.depth = depth + 1
     try:
         yield
     finally:
-        resource_tracker.register = original
+        _ATTACH_DEPTH.depth = depth
 
 
 class SharedArena:
@@ -136,10 +178,19 @@ class SharedArena:
         """Attach to a published segment by name (zero-copy).
 
         Deregisters the attachment from the resource tracker — the
-        publisher owns cleanup (see the module docstring).
+        publisher owns cleanup (see the module docstring). A vanished
+        (or never-published) segment raises
+        :class:`~repro.errors.TransportError` naming the segment, so
+        worker loops surface a routable engine error instead of a raw
+        ``FileNotFoundError``.
         """
         with _untracked():
-            shm = shared_memory.SharedMemory(name=name)
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError as exc:
+                raise TransportError(
+                    f"shared-memory segment {name!r} has vanished or "
+                    f"was never published (shm transport)") from exc
         header_len = _LEN.unpack_from(shm.buf, 0)[0]
         meta, directory = pickle.loads(
             bytes(shm.buf[_LEN.size:_LEN.size + header_len]))

@@ -1,0 +1,192 @@
+"""Shared scenarios for the larger-than-RAM corpus benchmark.
+
+Both front-ends — ``python -m repro bench --suite corpus`` and
+``benchmarks/bench_corpus.py`` — time the same code through this
+module, so the CLI table, the pytest gate and CI can never drift apart
+on what they measure.
+
+One scenario, three facts about the streamed-build path
+(:mod:`repro.xml.streaming` into a
+:class:`~repro.buffers.mmapfile.FileArena`):
+
+* **build** — DBLP-style records (:func:`repro.data.dblp.dblp_chunks`)
+  stream straight into a file arena; throughput is reported in nodes/s
+  next to the in-memory parse-and-columnarize build of the identical
+  text. Streamed-vs-in-memory row parity on a twig query is the
+  correctness gate.
+* **cold attach** — reopening the finished arena is O(header), not
+  O(corpus): attach time plus first-query latency over the mapped
+  columns, against the same query on the live build.
+* **peak RSS** — each build runs again in a fresh subprocess and
+  reports ``ru_maxrss``; the streamed build must stay **well under**
+  the in-memory build (the gate is a ratio, not an absolute, so it
+  binds on any machine). This is the bugfix's point: corpora bounded
+  by disk, not by RAM.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+
+#: The RSS gate: the streamed build's subprocess peak RSS must be at
+#: most this fraction of the in-memory build's at the same record
+#: count. Generous — at bench scale the in-memory tree is several
+#: times larger — because small corpora are dominated by interpreter
+#: baseline RSS.
+RSS_RATIO_TARGET = 0.8
+
+
+@dataclass(frozen=True)
+class CorpusTiming:
+    """One labelled streamed-vs-in-memory wall time pair (ms)."""
+
+    label: str
+    inmemory_ms: float
+    streamed_ms: float
+
+
+@dataclass(frozen=True)
+class CorpusScenarioResult:
+    """All measurements of one corpus scenario plus its checks."""
+
+    title: str
+    nodes: int
+    arena_bytes: int
+    timings: tuple[CorpusTiming, ...]
+    #: Streamed-arena query rows == in-memory query rows.
+    consistent: bool
+    #: Subprocess peak RSS (KiB) of each build path at the same size.
+    inmemory_peak_kb: int
+    streamed_peak_kb: int
+    #: ``repro-arena-`` temp files left behind after the run (must be
+    #: none — the streamed path owns its spill and arena lifecycle).
+    leaked: tuple[str, ...] = ()
+
+    @property
+    def rss_ratio(self) -> float:
+        """Streamed peak RSS over in-memory peak RSS."""
+        return self.streamed_peak_kb / max(self.inmemory_peak_kb, 1)
+
+    @property
+    def meets_rss_target(self) -> bool:
+        return self.rss_ratio <= RSS_RATIO_TARGET
+
+
+_BUILD_SNIPPET = """\
+import sys
+from repro.data.dblp import dblp_chunks
+n, seed = int(sys.argv[1]), int(sys.argv[2])
+if sys.argv[3] == "streamed":
+    from repro.xml.streaming import stream_document
+    arena = stream_document(dblp_chunks(n, seed=seed))
+    size = arena.meta["size"]
+    arena.close(); arena.unlink()
+else:
+    from repro.xml.columnar import columnar
+    from repro.xml.parser import parse_document
+    document = parse_document("".join(dblp_chunks(n, seed=seed)))
+    size = columnar(document).size
+# VmHWM, not ru_maxrss: getrusage's high-water mark survives exec when
+# the interpreter was spawned via vfork, so a big parent poisons the
+# child's reading; the /proc counter belongs to this mm alone.
+peak = None
+try:
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmHWM:"):
+                peak = int(line.split()[1])
+                break
+except OSError:
+    pass
+if peak is None:
+    import resource
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(size, peak)
+"""
+
+
+def _subprocess_peak_kb(n: int, seed: int, mode: str) -> int:
+    """Peak RSS (KiB) of one build path in a fresh interpreter."""
+    repro_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = repro_root + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _BUILD_SNIPPET, str(n), str(seed), mode],
+        check=True, capture_output=True, text=True, env=env)
+    _size, peak = out.stdout.split()
+    return int(peak)
+
+
+def dblp_corpus_scenario(n: int = 8000, *,
+                         seed: int = 0) -> CorpusScenarioResult:
+    """Stream *n* DBLP records into a file arena vs the in-memory build.
+
+    The streamed build never materializes the node tree; the in-memory
+    build parses the identical text. Parity is checked on the rows of
+    the article year/journal twig over both, the finished arena is
+    re-attached cold for the attach + first-query timings, and each
+    build path re-runs in a subprocess for the peak-RSS comparison.
+    """
+    from repro.buffers.mmapfile import FileArena, leaked_arena_files
+    from repro.data.dblp import dblp_chunks
+    from repro.xml.arenaview import attach_arena_document
+    from repro.xml.columnar import columnar
+    from repro.xml.interface import get_twig_algorithm
+    from repro.xml.parser import parse_document
+    from repro.xml.streaming import stream_document
+    from repro.xml.twig_parser import parse_twig
+
+    twig = parse_twig("a=article(/y=year, /j=journal)")
+    matcher = get_twig_algorithm("twigstack")
+
+    start = time.perf_counter()
+    arena = stream_document(dblp_chunks(n, seed=seed))
+    streamed_build_ms = (time.perf_counter() - start) * 1e3
+    nodes = arena.meta["size"]
+    path = arena.path
+    arena_bytes = os.path.getsize(path)
+    arena.close()  # build done; reopen below like a second process would
+
+    start = time.perf_counter()
+    document = parse_document("".join(dblp_chunks(n, seed=seed)))
+    live = columnar(document)
+    inmemory_build_ms = (time.perf_counter() - start) * 1e3
+    assert live.size == nodes
+
+    start = time.perf_counter()
+    serial = matcher.run(document, twig)
+    inmemory_query_ms = (time.perf_counter() - start) * 1e3
+
+    cold = FileArena.attach(path, owner=True)
+    try:
+        start = time.perf_counter()
+        handle, _view = attach_arena_document(cold)
+        cold_attach_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        attached = matcher.run(handle, twig)
+        attached_query_ms = (time.perf_counter() - start) * 1e3
+        consistent = sorted(attached.rows) == sorted(serial.rows)
+    finally:
+        cold.close()
+        cold.unlink()
+
+    inmemory_peak = _subprocess_peak_kb(n, seed, "inmemory")
+    streamed_peak = _subprocess_peak_kb(n, seed, "streamed")
+
+    timings = (
+        CorpusTiming("build", inmemory_build_ms, streamed_build_ms),
+        CorpusTiming("first query", inmemory_query_ms,
+                     cold_attach_ms + attached_query_ms),
+    )
+    return CorpusScenarioResult(
+        title=f"DBLP {n} records ({nodes} nodes, "
+              f"{arena_bytes / 1e6:.1f}MB arena)",
+        nodes=nodes, arena_bytes=arena_bytes, timings=timings,
+        consistent=consistent,
+        inmemory_peak_kb=inmemory_peak, streamed_peak_kb=streamed_peak,
+        leaked=tuple(leaked_arena_files()))

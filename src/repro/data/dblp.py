@@ -1,0 +1,146 @@
+"""A DBLP-flavoured bibliography corpus generator.
+
+DBLP is the canonical "XML that does not fit in RAM" corpus: one flat
+``<dblp>`` root over millions of shallow publication records. This is a
+compact deterministic generator of that shape — ``article`` records
+with ``author*``/``title``/``pages``/``year``/``volume``/``journal``/
+``ee``/``url`` children and ``inproceedings`` records swapping the
+journal fields for ``booktitle``/``crossref`` — sized by a record
+count, so streamed-build benchmarks can dial node counts into the
+millions without a reference download.
+
+:func:`dblp_chunks` is the streaming face: a generator of XML text
+fragments (one record per chunk, O(1) memory) that feeds the
+SAX-streaming builder (:mod:`repro.xml.streaming`) straight into a
+file arena. :func:`dblp_document` parses the identical stream into the
+in-memory tree — the parity reference and the form the query service
+clones per session. Author names exercise numeric character references
+(``&#252;`` and friends) and titles the predefined entities, so the
+corpus covers the decode paths real DBLP exports hit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.core.multimodel import MultiModelQuery
+    from repro.xml.model import XMLDocument
+
+#: Journals for ``article`` records (name, volume ceiling).
+JOURNALS = (
+    ("Proc. VLDB Endow.", 17),
+    ("Proc. ACM Manag. Data", 2),
+    ("ACM Trans. Database Syst.", 49),
+    ("VLDB J.", 33),
+    ("IEEE Trans. Knowl. Data Eng.", 36),
+)
+
+#: Venues for ``inproceedings`` records.
+CONFERENCES = ("SIGMOD Conference", "ICDE", "EDBT", "CIKM", "WWW")
+
+#: Surnames with a numeric character reference mixed in — real DBLP is
+#: full of diacritics, and these force the entity-decoding path.
+_SURNAMES = ("Schmitt", "Kocher", "M&#252;ller", "Augsten", "Mann",
+             "H&#252;tter", "Sch&#228;ler", "Thiel", "Gro&#223;e",
+             "Miller", "Chen", "Zhang")
+_FORENAMES = ("Daniel", "Nikolaus", "Willi", "Thomas", "Christine",
+              "Konstantin", "Alexander", "Jiaheng", "Wei", "Anna")
+
+_TITLE_WORDS = ("Adaptive", "Worst-Case", "Optimal", "Streaming",
+                "Multi-Model", "Twig", "Join", "Index", "Columnar",
+                "Queries", "Signatures", "Arenas")
+
+
+def _author(rng: random.Random) -> str:
+    return f"{rng.choice(_FORENAMES)} {rng.choice(_SURNAMES)}"
+
+
+def _title(rng: random.Random) -> str:
+    words = rng.sample(_TITLE_WORDS, rng.randint(3, 5))
+    if rng.random() < 0.2:
+        words.insert(rng.randrange(len(words)), "P &amp; Q")
+    return " ".join(words) + "."
+
+
+def _pages(rng: random.Random) -> str:
+    lo = rng.randint(1, 2800)
+    return f"{lo}-{lo + rng.randint(5, 30)}"
+
+
+def dblp_chunks(n: int, *, seed: int = 0) -> Iterator[str]:
+    """*n* publication records as streamed XML text fragments.
+
+    One chunk per record (plus the root open/close), so joining the
+    chunks is the document and iterating them never holds more than one
+    record of text. Roughly one record in four is an ``inproceedings``;
+    the rest are ``article`` records. Deterministic in *seed*.
+    """
+    rng = random.Random(seed)
+    yield "<dblp><bib>"
+    for record in range(n):
+        year = rng.randint(1995, 2024)
+        authors = "".join(
+            f"<author>{_author(rng)}</author>"
+            for _ in range(rng.randint(1, 5)))
+        head = (f'<title>{_title(rng)}</title>'
+                f"<pages>{_pages(rng)}</pages>"
+                f"<year>{year}</year>")
+        if rng.random() < 0.25:
+            venue = rng.choice(CONFERENCES)
+            slug = venue.split()[0].lower()
+            yield (f'<inproceedings mdate="{year + 1}-02-05" '
+                   f'key="conf/{slug}/R{record}">'
+                   f"{authors}{head}"
+                   f"<booktitle>{venue}</booktitle>"
+                   f"<ee>https://doi.org/10.1145/{record}</ee>"
+                   f"<crossref>conf/{slug}/{year}</crossref>"
+                   f"<url>db/conf/{slug}/{slug}{year}.html#R{record}</url>"
+                   f"</inproceedings>")
+        else:
+            journal, max_volume = rng.choice(JOURNALS)
+            yield (f'<article mdate="{year + 1}-02-05" '
+                   f'key="journals/j{record % 7}/R{record}">'
+                   f"{authors}{head}"
+                   f"<volume>{rng.randint(1, max_volume)}</volume>"
+                   f"<journal>{journal}</journal>"
+                   f"<ee>https://doi.org/10.14778/{record}</ee>"
+                   f"<url>db/journals/j{record % 7}.html#R{record}</url>"
+                   f"</article>")
+    yield "</bib></dblp>"
+
+
+def dblp_document(n: int, *, seed: int = 0) -> "XMLDocument":
+    """The in-memory twin: the same *n* records as a parsed tree.
+
+    Parses exactly the text :func:`dblp_chunks` streams, so the
+    streamed arena build and this tree agree column for column — the
+    parity reference for the streaming tests and the corpus form the
+    query service clones per session.
+    """
+    from repro.xml.parser import parse_document
+
+    return parse_document("".join(dblp_chunks(n, seed=seed)))
+
+
+def dblp_query(document: "XMLDocument", *,
+               name: str = "DBLP") -> "MultiModelQuery":
+    """A multi-model query joining articles to a relational era table.
+
+    The twig projects each article's year and journal; the relation
+    maps publication years onto era labels, so the join answers
+    "articles per journal per era" — one twig binding plus one relation
+    over the shared ``y`` attribute, the minimal multi-model shape the
+    planner, executor and service all accept.
+    """
+    from repro.core.multimodel import MultiModelQuery, TwigBinding
+    from repro.relational.relation import Relation
+    from repro.xml.twig_parser import parse_twig
+
+    twig = parse_twig("a=article(/y=year, /j=journal)")
+    eras = Relation(
+        "eras", ("y", "era"),
+        [(year, f"{(year // 10) * 10}s") for year in range(1995, 2025)])
+    return MultiModelQuery([eras], [TwigBinding(twig, document)],
+                           name=name)

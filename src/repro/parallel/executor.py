@@ -48,7 +48,7 @@ if TYPE_CHECKING:
 def available_transports() -> list[str]:
     """Transports usable on this platform, preferred first."""
     out = ["fork"] if fork_available() else []
-    return out + ["shm", "pickle", "serial"]
+    return out + ["shm", "mmap", "pickle", "serial"]
 
 
 def default_transport(workers: int) -> str:
@@ -79,8 +79,8 @@ class ParallelExecutor:
 
     ``workers`` is the pool size (0/1 = serial), ``morsel_factor`` the
     morsels cut per worker (more absorbs skew, fewer lowers overhead)
-    and ``transport`` one of ``"fork"`` / ``"shm"`` / ``"pickle"`` /
-    ``"serial"`` (default: the platform's best, see
+    and ``transport`` one of ``"fork"`` / ``"shm"`` / ``"mmap"`` /
+    ``"pickle"`` / ``"serial"`` (default: the platform's best, see
     :func:`default_transport`).
     """
 
@@ -120,7 +120,7 @@ class ParallelExecutor:
             return get_algorithm(algorithm).run(instance, stats=stats)
         transport = self.transport
         has_twigs = instance.query is not None and bool(instance.query.twigs)
-        if transport in ("pickle", "shm") and has_twigs:
+        if transport in ("pickle", "shm", "mmap") and has_twigs:
             raise TransportError(
                 f"the {transport!r} transport ships the encoded instance "
                 "across processes and cannot carry twig-bearing instances "
@@ -137,6 +137,13 @@ class ParallelExecutor:
 
             arena = publish_instance(instance, algorithm)
             shared = ("join_shm", arena.name, algorithm)
+        elif transport == "mmap":
+            # Same frozen-trie publication, file-backed: workers mmap
+            # the arena read-only by path.
+            from repro.parallel.mmapfile import publish_instance
+
+            arena = publish_instance(instance, algorithm)
+            shared = ("join_mmap", arena.path, algorithm)
         elif transport == "pickle":
             # The job state is serialized once per worker (not per
             # morsel); strip what workers never read — source relations,
@@ -201,14 +208,20 @@ class ParallelExecutor:
         slices = posting_slices(posting, count)
         # Documents are never *pickled* across the pool: twig morsels
         # ride fork (copy-on-write), shm (the columnar buffers publish
-        # once and workers attach zero-copy) or the in-process loop. A
-        # pickle-configured executor routes through shm — same spawn
-        # start method, no per-worker document serialization — so twig
-        # parallelism works on every platform. The one exception is the
-        # navigational ``naive`` oracle, which walks real node objects
-        # that only exist in the publisher's address space.
+        # once and workers attach zero-copy), mmap (the buffers lay in
+        # a file arena that workers map read-only by path — this is how
+        # larger-than-RAM streamed corpora parallelize) or the
+        # in-process loop. A pickle-configured executor routes through
+        # shm — same spawn start method, no per-worker document
+        # serialization — so twig parallelism works on every platform.
+        # The navigational ``naive`` oracle walks real node objects
+        # under fork; attached, it walks the mmap view's memoised node
+        # stubs — only the shm attachment (a bare cache-key handle)
+        # cannot serve it.
         if self.transport == "serial":
             transport = "serial"
+        elif self.transport == "mmap":
+            transport = "mmap"
         elif self.transport == "fork" and fork_available():
             transport = "fork"
         elif algorithm == "naive":
@@ -216,8 +229,9 @@ class ParallelExecutor:
                 raise TransportError(
                     "the 'naive' twig matcher walks live XMLNode objects "
                     "and cannot attach a shared-memory view; it needs the "
-                    "'fork' start method — use transport='serial', "
-                    "workers=1 or a columnar matcher on this platform")
+                    "'fork' start method — use transport='mmap', "
+                    "'serial', workers=1 or a columnar matcher on this "
+                    "platform")
             transport = "fork"
         else:
             transport = "shm"
@@ -230,6 +244,19 @@ class ParallelExecutor:
 
             arena = publish_document(base)
             shared: tuple = ("twig_shm", arena.name, twig, algorithm)
+        elif transport == "mmap":
+            from repro.buffers.mmapfile import FileArena
+            from repro.parallel.mmapfile import publish_document as publish_file
+
+            source = getattr(document, "arena", None)
+            if isinstance(source, FileArena):
+                # The corpus is already a file arena (streamed build or
+                # prior attachment): re-publish by path, zero copying.
+                # The caller owns that arena — nothing to unlink here.
+                shared = ("twig_mmap", source.path, twig, algorithm)
+            else:
+                arena = publish_file(base)
+                shared = ("twig_mmap", arena.path, twig, algorithm)
         else:
             shared = ("twig", document, twig, algorithm, base)
 

@@ -1,0 +1,74 @@
+"""Zero-copy job publication over file-backed mmap arenas.
+
+The ``mmap`` transport is the disk-backed sibling of ``shm``: the
+parent lays the job's typed buffers into one
+:class:`~repro.buffers.mmapfile.FileArena` (same layout, same
+``(buffers, meta)`` publication shape from :mod:`repro.parallel.shm`)
+and ships workers only a ``(kind, path, ...)`` descriptor; each worker
+opens a **read-only** ``mmap`` over the same file and casts
+``memoryview`` windows. Beyond spawn-safety this buys what ``/dev/shm``
+cannot: the corpus never has to fit in memory — pages fault in through
+the page cache as queries touch them, so a streamed-build
+:class:`FileArena` larger than RAM serves partition-parallel twig
+matching directly (see :mod:`repro.xml.streaming`).
+
+A document job whose arena was built by the streaming path is
+published **by path** with zero copying (the file already is the
+publication); in-memory views are flattened through
+:func:`~repro.parallel.shm.document_buffers` first. Lifecycle mirrors
+shm: the executor owns close + unlink of arenas it published (it never
+unlinks a caller-owned streamed arena); workers only close.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.buffers.mmapfile import FileArena
+from repro.parallel.shm import (
+    document_buffers,
+    instance_buffers,
+    instance_from_arena,
+)
+
+if TYPE_CHECKING:
+    from repro.engine.encoded import EncodedInstance
+    from repro.xml.columnar import ColumnarDocument
+
+
+def publish_document(view: "ColumnarDocument",
+                     path: str | None = None) -> FileArena:
+    """Publish a columnar view into a file arena; returns the owner."""
+    buffers, meta = document_buffers(view)
+    return FileArena.publish(buffers, meta, path=path)
+
+
+def attach_document(path: str):
+    """Attach a published document file; returns (arena, handle, view).
+
+    Accepts arenas published here *and* arenas written directly by the
+    streaming builder (typed value columns instead of meta values) —
+    :func:`~repro.xml.arenaview.view_from_arena` handles both. The
+    handle is an :class:`~repro.xml.arenaview.ArenaDocument` (full
+    navigational surface, so even the ``naive`` oracle runs attached);
+    the view installs in the columnar cache under it. The caller owns
+    closing the arena when the job ends.
+    """
+    from repro.xml.arenaview import attach_arena_document
+
+    arena = FileArena.attach(path)
+    handle, view = attach_arena_document(arena)
+    return arena, handle, view
+
+
+def publish_instance(instance: "EncodedInstance", algorithm: str,
+                     path: str | None = None) -> FileArena:
+    """Publish an encoded instance's frozen tries into a file arena."""
+    buffers, meta = instance_buffers(instance, algorithm)
+    return FileArena.publish(buffers, meta, path=path)
+
+
+def attach_instance(path: str) -> "tuple[FileArena, EncodedInstance]":
+    """Attach a published instance file; returns (arena, shell)."""
+    arena = FileArena.attach(path)
+    return arena, instance_from_arena(arena)

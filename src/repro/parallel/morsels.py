@@ -45,8 +45,9 @@ def run_morsels(kind: str, payloads: Sequence[tuple], *,
     ``shared`` is the job state workers receive at startup — by
     copy-on-write inheritance under ``"fork"``, serialized once per
     worker under ``"pickle"``, attached zero-copy from a published
-    shared-memory arena under ``"shm"`` (the descriptor tuple is all
-    that ships), installed in-process under ``"serial"`` (see
+    shared-memory arena under ``"shm"`` or a file-backed mmap arena
+    under ``"mmap"`` (the descriptor tuple is all that ships),
+    installed in-process under ``"serial"`` (see
     :mod:`repro.parallel.worker`). The returned list is indexed like
     *payloads* regardless of which worker finished which morsel first.
     """
@@ -58,20 +59,21 @@ def run_morsels(kind: str, payloads: Sequence[tuple], *,
     pool_size = min(workers, len(payloads))
     if transport == "serial" or pool_size <= 1:
         return _run_inline(kind, payloads, shared)
-    if transport not in ("fork", "pickle", "shm"):
+    if transport not in ("fork", "pickle", "shm", "mmap"):
         raise EngineError(f"unknown transport {transport!r}; choose from "
-                          "['fork', 'pickle', 'shm', 'serial']")
+                          "['fork', 'mmap', 'pickle', 'shm', 'serial']")
     if transport == "fork" and not fork_available():
         raise EngineError(
             "the 'fork' transport is unavailable on this platform; use "
             "transport='shm' or 'serial'")
 
-    if transport in ("pickle", "shm"):
+    if transport in ("pickle", "shm", "mmap"):
         # Spawn even where fork exists: these transports' whole point is
         # explicitly shipped job state (a serialized instance, or a
-        # shared-memory descriptor workers attach), and riding fork here
-        # would let unpicklable additions to the shipped artifacts pass
-        # every Linux test and first break on spawn-only platforms.
+        # shared-memory / file-arena descriptor workers attach), and
+        # riding fork here would let unpicklable additions to the
+        # shipped artifacts pass every Linux test and first break on
+        # spawn-only platforms.
         context = multiprocessing.get_context("spawn")
     else:
         context = multiprocessing.get_context("fork")
@@ -129,9 +131,9 @@ def _run_inline(kind: str, payloads: Sequence[tuple],
                 shared: tuple | None) -> list[tuple[dict, list]]:
     """The serial fallback: same runners, same contract, no processes.
 
-    A ``*_shm`` descriptor materializes in-process (the attachment maps
-    the parent's own segment) and its views are released before the
-    previous job state is restored.
+    A ``*_shm`` / ``*_mmap`` descriptor materializes in-process (the
+    attachment maps the parent's own segment or file) and its views are
+    released before the previous job state is restored.
     """
     runner = MORSEL_RUNNERS[kind]
     previous = worker_module._SHARED

@@ -15,13 +15,15 @@ Two job families publish here:
   :class:`~repro.xml.columnar.ColumnarDocument` (node columns verbatim;
   the per-tag and per-path posting lists as concatenated data + offset
   buffers, classic CSR). :func:`attach_document` rebuilds a read-only
-  view whose columns are zero-copy casts, whose ``nodes`` are lazy
-  :class:`NodeStub` adapters over the columns (real
-  :class:`~repro.xml.model.XMLNode` objects never cross processes), and
-  installs it in the columnar cache under a fresh
+  view via :func:`repro.xml.arenaview.view_from_arena` — zero-copy
+  column casts, memoised node stubs and a bisect-backed nid index
+  (real :class:`~repro.xml.model.XMLNode` objects never cross
+  processes) — and installs it in the columnar cache under a fresh
   :class:`DocumentHandle`, so every registered twig matcher runs
   unchanged. Dewey labels are not shipped — no matcher reads them; the
-  update layer owns the mutable original.
+  update layer owns the mutable original. The file-backed ``mmap``
+  transport (:mod:`repro.parallel.mmapfile`) publishes the same
+  (buffers, meta) shape through :func:`document_buffers`.
 * **encoded instances** — :func:`publish_instance` freezes each
   :class:`~repro.engine.encoded.EncodedTrie` into CSR level/offset
   buffers (:func:`~repro.buffers.frozen.freeze_trie`);
@@ -92,67 +94,15 @@ class DocumentHandle:
         return "DocumentHandle(shared-memory attachment)"
 
 
-class NodeStub:
-    """A lazy node adapter over the attached columns.
+def document_buffers(view: "ColumnarDocument"
+                     ) -> "tuple[dict[str, array], dict]":
+    """A columnar view flattened to (buffers, meta) for publication.
 
-    Presents the ``XMLNode`` surface result handling reads — ``start``,
-    ``end``, ``level``, ``tag`` and the pre-parsed ``value`` — by
-    indexing the view's buffers on demand. Stubs are created only for
-    nodes that appear in solutions, never for the whole document.
+    The shared publication shape of the ``shm`` and ``mmap``
+    transports: node columns verbatim, per-tag and per-path postings as
+    concatenated CSR data + offset buffers, vocabularies and values in
+    the pickled meta block.
     """
-
-    __slots__ = ("_view", "_nid")
-
-    def __init__(self, view: "ColumnarDocument", nid: int):
-        self._view = view
-        self._nid = nid
-
-    @property
-    def start(self) -> int:
-        """The node's region start label."""
-        return self._view.starts[self._nid]
-
-    @property
-    def end(self) -> int:
-        """The node's region end label."""
-        return self._view.ends[self._nid]
-
-    @property
-    def level(self) -> int:
-        """The node's depth in the document tree."""
-        return self._view.levels[self._nid]
-
-    @property
-    def tag(self) -> str:
-        """The node's tag name, resolved through the shared tag table."""
-        return self._view.tags[self._view.tag_ids[self._nid]]
-
-    @property
-    def value(self):
-        """The node's pre-parsed typed text value."""
-        return self._view.values[self._nid]
-
-    def __repr__(self) -> str:
-        return f"NodeStub(<{self.tag}> start={self.start})"
-
-
-class _LazyNodes:
-    """The attached view's ``nodes`` column: stubs built on access."""
-
-    __slots__ = ("_view",)
-
-    def __init__(self, view: "ColumnarDocument"):
-        self._view = view
-
-    def __getitem__(self, nid: int) -> NodeStub:
-        return NodeStub(self._view, nid)
-
-    def __len__(self) -> int:
-        return self._view.size
-
-
-def publish_document(view: "ColumnarDocument") -> SharedArena:
-    """Publish a columnar view's buffers; returns the owning arena."""
     buffers: dict[str, array] = {
         "starts": _as_array(view.starts),
         "ends": _as_array(view.ends),
@@ -191,6 +141,12 @@ def publish_document(view: "ColumnarDocument") -> SharedArena:
         "pids_by_last_tag": {tid: list(pids) for tid, pids
                              in view.pids_by_last_tag.items()},
     }
+    return buffers, meta
+
+
+def publish_document(view: "ColumnarDocument") -> SharedArena:
+    """Publish a columnar view's buffers; returns the owning arena."""
+    buffers, meta = document_buffers(view)
     return SharedArena.publish(buffers, meta)
 
 
@@ -198,45 +154,17 @@ def attach_document(name: str
                     ) -> "tuple[SharedArena, DocumentHandle, ColumnarDocument]":
     """Attach a published document; returns (arena, handle, view).
 
-    The view is installed in the columnar cache under the returned
-    handle, so matchers called with the handle resolve it like any
-    document. The caller owns closing the arena when the job ends.
+    The view (rebuilt by :func:`repro.xml.arenaview.view_from_arena`:
+    zero-copy casts plus lazy node/index adapters) is installed in the
+    columnar cache under the returned handle, so matchers called with
+    the handle resolve it like any document. The caller owns closing
+    the arena when the job ends.
     """
-    from repro.xml.columnar import ColumnarDocument, install_columnar
+    from repro.xml.arenaview import view_from_arena
+    from repro.xml.columnar import install_columnar
 
     arena = SharedArena.attach(name)
-    meta = arena.meta
-    view = ColumnarDocument.__new__(ColumnarDocument)
-    view.size = meta["size"]
-    view.starts = arena.buffer("starts")
-    view.ends = arena.buffer("ends")
-    view.levels = arena.buffer("levels")
-    view.parents = arena.buffer("parents")
-    view.tag_ids = arena.buffer("tag_ids")
-    view.path_ids = arena.buffer("path_ids")
-    view.values = meta["values"]
-    view.deweys = None  # not shipped; only the update layer reads them
-    view.tags = meta["tags"]
-    view.tag_index = meta["tag_index"]
-    view.paths = meta["paths"]
-    view.path_table = {}  # update-layer interning state; views are frozen
-    offs = arena.buffer("tag_offsets")
-    nids_cat = arena.buffer("tag_nids")
-    starts_cat = arena.buffer("tag_starts")
-    ends_cat = arena.buffer("tag_ends")
-    view.tag_nids = [nids_cat[offs[t]:offs[t + 1]]
-                     for t in range(len(view.tags))]
-    view.tag_starts = [starts_cat[offs[t]:offs[t + 1]]
-                       for t in range(len(view.tags))]
-    view.tag_ends = [ends_cat[offs[t]:offs[t + 1]]
-                     for t in range(len(view.tags))]
-    poffs = arena.buffer("path_offsets")
-    pcat = arena.buffer("path_nids")
-    view.nids_by_path = [pcat[poffs[p]:poffs[p + 1]]
-                         for p in range(len(view.paths))]
-    view.pids_by_last_tag = meta["pids_by_last_tag"]
-    view.nodes = _LazyNodes(view)
-    view.nid_index = {start: nid for nid, start in enumerate(view.starts)}
+    view = view_from_arena(arena)
     handle = DocumentHandle()
     install_columnar(handle, view)
     return arena, handle, view
@@ -246,14 +174,16 @@ def attach_document(name: str
 # encoded instances
 # ---------------------------------------------------------------------------
 
-def publish_instance(instance: "EncodedInstance",
-                     algorithm: str) -> SharedArena:
-    """Publish an encoded instance's tries as frozen CSR buffers.
+def instance_buffers(instance: "EncodedInstance", algorithm: str
+                     ) -> "tuple[dict[str, array], dict]":
+    """An encoded instance frozen to (buffers, meta) for publication.
 
-    The meta block carries the decode tables and participation map once;
-    for ``xjoin`` it also carries the query and twig-filter objects
-    (callers guarantee the instance is twig-free — validators pin live
-    documents and never serialize).
+    Each trie freezes to CSR level/offset buffers
+    (``t{i}.l{level}`` / ``t{i}.o{level}``); the meta block carries the
+    decode tables and participation map once, and for ``xjoin`` the
+    query and twig-filter objects (callers guarantee the instance is
+    twig-free — validators pin live documents and never serialize).
+    Shared by the ``shm`` and ``mmap`` transports.
     """
     buffers: dict[str, array] = {}
     descriptors: list[dict[str, Any]] = []
@@ -278,11 +208,18 @@ def publish_instance(instance: "EncodedInstance",
         meta["query"] = instance.query
         meta["twig_filters"] = instance.twig_filters
         meta["erase_structural"] = instance.erase_structural
+    return buffers, meta
+
+
+def publish_instance(instance: "EncodedInstance",
+                     algorithm: str) -> SharedArena:
+    """Publish an encoded instance's tries as frozen CSR buffers."""
+    buffers, meta = instance_buffers(instance, algorithm)
     return SharedArena.publish(buffers, meta)
 
 
-def attach_instance(name: str) -> "tuple[SharedArena, EncodedInstance]":
-    """Attach a published instance; returns (arena, instance shell).
+def instance_from_arena(arena) -> "EncodedInstance":
+    """Rebuild an instance shell over an attached arena (shm or mmap).
 
     Each trie shell's root is a :class:`FrozenTrieNode` over the zero-
     copy level buffers; the kernels and
@@ -291,7 +228,6 @@ def attach_instance(name: str) -> "tuple[SharedArena, EncodedInstance]":
     """
     from repro.engine.encoded import EncodedInstance, EncodedTrie
 
-    arena = SharedArena.attach(name)
     meta = arena.meta
     tries = []
     for index, descriptor in enumerate(meta["tries"]):
@@ -321,4 +257,10 @@ def attach_instance(name: str) -> "tuple[SharedArena, EncodedInstance]":
     instance.erase_structural = meta.get("erase_structural", False)
     instance.participation = meta["participation"]
     instance._level_values = meta["level_values"]
-    return arena, instance
+    return instance
+
+
+def attach_instance(name: str) -> "tuple[SharedArena, EncodedInstance]":
+    """Attach a published instance; returns (arena, instance shell)."""
+    arena = SharedArena.attach(name)
+    return arena, instance_from_arena(arena)

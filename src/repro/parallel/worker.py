@@ -57,10 +57,13 @@ def _materialize(job: tuple) -> tuple:
     """Resolve a shared-memory descriptor into standard job state.
 
     Attaches the arena(s) zero-copy and rewrites the descriptor into
-    the plain job tuple the morsel runners dispatch on. The attachments
-    are recorded for :func:`release_shared`.
+    the plain job tuple the morsel runners dispatch on. ``*_shm``
+    descriptors carry a segment name, ``*_mmap`` descriptors a file
+    path (:mod:`repro.parallel.mmapfile`); both funnel into identical
+    job shapes. The attachments are recorded for
+    :func:`release_shared`.
     """
-    from repro.parallel import shm
+    from repro.parallel import mmapfile, shm
 
     kind = job[0]
     if kind == "twig_shm":
@@ -70,6 +73,14 @@ def _materialize(job: tuple) -> tuple:
     elif kind == "join_shm":
         _kind, arena_name, algorithm = job
         arena, instance = shm.attach_instance(arena_name)
+        materialized = ("join", instance, algorithm)
+    elif kind == "twig_mmap":
+        _kind, path, twig, algorithm = job
+        arena, handle, view = mmapfile.attach_document(path)
+        materialized = ("twig", handle, twig, algorithm, view)
+    elif kind == "join_mmap":
+        _kind, path, algorithm = job
+        arena, instance = mmapfile.attach_instance(path)
         materialized = ("join", instance, algorithm)
     else:  # pragma: no cover - guarded by the caller
         return job
@@ -86,13 +97,13 @@ def release_shared(job: tuple | None) -> None:
 def set_shared(job: tuple | None) -> None:
     """Install (or clear) the current job state (and its memos).
 
-    Shared-memory descriptors (``*_shm`` kinds) are materialized here —
-    the one place every transport funnels through — so the runners only
-    ever see plain job tuples.
+    Shared-arena descriptors (``*_shm`` / ``*_mmap`` kinds) are
+    materialized here — the one place every transport funnels through —
+    so the runners only ever see plain job tuples.
     """
     global _SHARED, _TWIG_STREAMS
     if job is not None and isinstance(job[0], str) \
-            and job[0].endswith("_shm"):
+            and job[0].endswith(("_shm", "_mmap")):
         job = _materialize(job)
     _SHARED = job
     _TWIG_STREAMS = None

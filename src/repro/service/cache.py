@@ -19,6 +19,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable
 
+#: Internal absence sentinel: a cached value of ``None`` (or any other
+#: falsy plan, e.g. an empty options dict) is a legitimate resident and
+#: must count as a hit — ``dict.get``'s default would conflate it with
+#: a miss.
+_MISS = object()
+
 
 class PlanCache:
     """Bounded LRU mapping with a request-frequency admission gate."""
@@ -49,13 +55,15 @@ class PlanCache:
             self._seen.popitem(last=False)
         return count
 
-    def get(self, key: Hashable) -> Any | None:
-        """The cached value for *key* (None on miss); counts the request."""
+    def get(self, key: Hashable, default: Any = None) -> Any | None:
+        """The cached value for *key* (*default* on miss); counts the
+        request. Presence is decided by key residency, not truthiness,
+        so falsy cached values still register as hits."""
         self._note(key)
-        entry = self._entries.get(key)
-        if entry is None:
+        entry = self._entries.get(key, _MISS)
+        if entry is _MISS:
             self.misses += 1
-            return None
+            return default
         self._entries.move_to_end(key)
         self.hits += 1
         return entry

@@ -210,6 +210,23 @@ class ColumnarDocument:
         self.nid_index: dict[int, int] = {
             start: nid for nid, start in enumerate(starts)}
 
+    @classmethod
+    def from_arena(cls, arena) -> "ColumnarDocument":
+        """A read-only view over a published arena (shm or mmap file).
+
+        *arena* is anything exposing ``buffer(name)`` + ``meta`` with
+        the document buffer layout — a
+        :class:`~repro.buffers.shm.SharedArena` segment or a
+        file-backed :class:`~repro.buffers.mmapfile.FileArena` written
+        by the streaming builder (:mod:`repro.xml.streaming`). Columns
+        are zero-copy casts; nodes, the nid index and (for streamed
+        arenas) values are lazy adapters, so attachment is O(1) in
+        document size. See :mod:`repro.xml.arenaview`.
+        """
+        from repro.xml.arenaview import view_from_arena
+
+        return view_from_arena(arena)
+
     # -- lookups -----------------------------------------------------------
 
     def nid_of(self, node: XMLNode) -> int:

@@ -98,3 +98,67 @@ def xmark_document(factor: float = 0.1, *, seed: int = 0,
         auction.add("current", text=str(rng.randint(10, 500)))
 
     return XMLDocument(site)
+
+
+def xmark_stream_chunks(factor: float = 0.1, *, seed: int = 0):
+    """The same XMark shape as serialized text chunks, O(1) memory.
+
+    A generator of XML fragments (one entity per chunk) feeding the
+    SAX-streaming builder (:func:`repro.xml.streaming.stream_document`)
+    so arbitrarily large factors never materialize a node tree — the
+    corpus behind the ``xmark-stream:<factor>`` spec. Deterministic in
+    *seed*; items land in per-region blocks (a purely streaming
+    emission order), so the stream is its own reference — parity checks
+    parse the identical text in memory rather than comparing against
+    :func:`xmark_document`'s interleaved construction order.
+    """
+    rng = random.Random(seed)
+    scale = XMarkScale.from_factor(factor)
+    yield "<site>"
+
+    yield "<regions>"
+    for index, region in enumerate(REGIONS):
+        yield f"<{region}>"
+        # Per-region block: every item whose id hashes to this region.
+        for item_id in range(index, scale.items, len(REGIONS)):
+            parts = [f'<item id="item{item_id}">',
+                     f"<name>item-{item_id}</name>"]
+            for _ in range(rng.randint(1, 3)):
+                parts.append(f"<incategory>"
+                             f"{rng.randrange(scale.categories)}"
+                             f"</incategory>")
+            method = rng.choice(("cash", "creditcard", "transfer"))
+            parts.append(f"<payment><method>{method}</method></payment>")
+            parts.append("</item>")
+            yield "".join(parts)
+        yield f"</{region}>"
+    yield "</regions>"
+
+    yield "<people>"
+    for person_id in range(scale.people):
+        parts = [f'<person id="person{person_id}">',
+                 f"<name>person-{person_id}</name>",
+                 f"<emailaddress>p{person_id}@example.org</emailaddress>",
+                 "<profile>"]
+        for _ in range(rng.randint(0, 3)):
+            parts.append(f"<interest>{rng.randrange(scale.categories)}"
+                         f"</interest>")
+        parts.append("</profile></person>")
+        yield "".join(parts)
+    yield "</people>"
+
+    yield "<open_auctions>"
+    for auction_id in range(scale.auctions):
+        parts = [f'<open_auction id="auction{auction_id}">',
+                 f"<itemref>{rng.randrange(scale.items)}</itemref>"]
+        for _ in range(rng.randint(0, 4)):
+            parts.append(f"<bidder>"
+                         f"<personref>{rng.randrange(scale.people)}"
+                         f"</personref>"
+                         f"<increase>{rng.randint(1, 50)}</increase>"
+                         f"</bidder>")
+        parts.append(f"<current>{rng.randint(10, 500)}</current>")
+        parts.append("</open_auction>")
+        yield "".join(parts)
+    yield "</open_auctions>"
+    yield "</site>"

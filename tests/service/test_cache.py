@@ -74,6 +74,37 @@ class TestEviction:
             PlanCache(capacity=0)
 
 
+class TestFalsyValues:
+    """Regression: a cached falsy value must hit, not re-miss forever."""
+
+    @pytest.mark.parametrize("value", [None, 0, "", {}, [], False])
+    def test_falsy_resident_counts_as_hit(self, value):
+        cache = PlanCache(capacity=4, admission_threshold=1)
+        cache.get("k")
+        assert cache.put("k", value) is True
+        before = cache.misses
+        assert cache.get("k") == value
+        assert cache.hits == 1          # the real proof: a hit, not
+        assert cache.misses == before   # an equal-looking miss
+
+    def test_falsy_resident_keeps_lru_recency(self):
+        cache = PlanCache(capacity=2, admission_threshold=1)
+        for key in ("a", "b"):
+            cache.get(key)
+            cache.put(key, 0)
+        cache.get("a")                  # must refresh recency, not miss
+        cache.get("c")
+        cache.put("c", "c")
+        assert cache.get("a") == 0
+        assert cache.get("b", "gone") == "gone"
+
+    def test_get_default_on_genuine_miss(self):
+        cache = PlanCache(capacity=2)
+        sentinel = object()
+        assert cache.get("absent", sentinel) is sentinel
+        assert cache.misses == 1
+
+
 def test_stats_shape():
     cache = PlanCache(capacity=4)
     cache.get("k")
