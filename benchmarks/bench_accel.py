@@ -1,0 +1,50 @@
+"""Relational XPath accelerator vs holistic twig matchers.
+
+Races the ``accel`` backend (twigs lowered to edge relations over the
+region labels and executed by the worst-case-optimal join kernel,
+:mod:`repro.xml.accel`) against TJFast and TwigStack on the XMark
+factor-4 corpus and on the same corpus streamed into a file-backed
+mmap arena (``xmark-stream``).
+
+Row parity across every matcher — and across the partition-parallel
+accel run at 2 workers — is asserted unconditionally; speedups are
+reported via ``report_table``, not gated, because which side wins is
+twig-dependent (the accelerator pays off when value predicates shrink
+the candidate streams; pure navigation favours the holistic matchers).
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+
+from repro.xml.bench import AccelScenarioResult, stream_scenario, xmark_scenario
+
+WORKERS = 2
+FACTOR = 4.0
+
+
+def _report(result: AccelScenarioResult) -> None:
+    rows = [[timing.label, timing.rival, f"{timing.rival_ms:.2f}ms",
+             f"{timing.accel_ms:.2f}ms", f"{timing.speedup:.2f}x"]
+            for timing in result.timings]
+    report_table(f"Accelerator: {result.title}",
+                 ["twig", "rival", "rival", "accel", "speedup"], rows)
+
+
+def _assert_scenario(result: AccelScenarioResult) -> None:
+    assert result.consistent, \
+        f"{result.title}: a matcher diverged from the accelerator rows"
+
+
+def test_accel_xmark():
+    """In-memory XMark factor 4: exact parity, speedups reported."""
+    result = xmark_scenario(FACTOR, workers=WORKERS)
+    _report(result)
+    _assert_scenario(result)
+
+
+def test_accel_xmark_stream():
+    """Streamed mmap-arena corpus: exact parity, speedups reported."""
+    result = stream_scenario(FACTOR, workers=WORKERS)
+    _report(result)
+    _assert_scenario(result)

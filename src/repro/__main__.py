@@ -20,7 +20,11 @@ Commands:
   XMark multi-model scenario; ``--suite corpus`` streams a DBLP-style
   corpus into a file-backed mmap arena and reports build throughput,
   cold-attach query latency and subprocess peak RSS against the
-  in-memory build)
+  in-memory build; ``--suite accel`` races the relational
+  XPath-accelerator backend against TJFast and TwigStack on an XMark
+  factor-4 document and the streamed ``xmark-stream`` corpus — row
+  parity is fatal, speedups are reported, and with ``--workers N``
+  the accelerator also runs partition-parallel)
 * ``explain [corpus-spec]`` — print the adaptive planner's chosen plan
   for a corpus spec (default ``skewed``): expansion order, operator,
   partitions, and per-stage estimated vs observed cardinalities from
@@ -33,19 +37,23 @@ Commands:
 Options:
 
 * ``--twig-algorithm NAME`` — force one registered twig matcher
-  (``twigstack``/``tjfast``/``pathstack``/``structural``/``naive``)
-  instead of the planner's stats-driven choice, for A/B runs on the
-  multi-model scenarios. Applies to ``figure3``, ``bench`` and
-  ``selftest``.
+  (``twigstack``/``tjfast``/``pathstack``/``structural``/``accel``/
+  ``naive``) instead of the planner's stats-driven choice, for A/B
+  runs on the multi-model scenarios. Applies to ``figure3``, ``bench``
+  and ``selftest``.
 * ``--suite NAME`` — ``bench`` suite: ``engine`` (default), ``twig``,
-  ``updates``, ``parallel``, ``buffers``, ``service``, ``planner`` or
-  ``corpus``.
+  ``updates``, ``parallel``, ``buffers``, ``service``, ``planner``,
+  ``corpus`` or ``accel``.
 * ``--workers N`` — worker processes for partition-parallel execution
   (default 0 = serial). ``bench --suite parallel`` races serial against
-  this pool size; ``selftest`` additionally checks parallel/serial
-  parity for every registered algorithm; ``serve`` offloads heavy
-  queries to this pool; ``explain`` shows the partition count the
-  adaptive planner would choose for this pool size.
+  this pool size; ``bench --suite twig`` and ``bench --suite accel``
+  run the matchers through the parallel executor (so
+  ``bench --suite twig --twig-algorithm accel --workers 2`` is the
+  accelerator partition-parallel, sliced on the root tag's pre-range);
+  ``selftest`` additionally checks parallel/serial parity for every
+  registered algorithm; ``serve`` offloads heavy queries to this pool;
+  ``explain`` shows the partition count the adaptive planner would
+  choose for this pool size.
 * ``--corpus SPEC`` — ``serve``: the hosted corpus, e.g. ``figure1``
   (default), ``bookstore:orders=40,users=12``, ``triangle:n=8``,
   ``dblp:5000`` or ``xmark-stream:4``.
@@ -185,14 +193,24 @@ def cmd_bench(n: int = 150, twig_algorithm: str | None = None,
 
 
 def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None,
-                   records: list | None = None) -> int:
-    """Race the registered twig matchers on an XMark document."""
+                   records: list | None = None, workers: int = 0) -> int:
+    """Race the registered twig matchers on an XMark document.
+
+    With ``workers >= 2`` every matcher runs through the
+    partition-parallel executor instead of its serial entry point
+    (accel rides the join partitioner on the root tag's pre-range, the
+    navigational matchers the root-posting slicer)."""
     from repro.engine.planner import choose_twig_algorithm
     from repro.xml.interface import available_twig_algorithms, \
         get_twig_algorithm
     from repro.xml.twig_parser import parse_twig
     from repro.xml.xmark import xmark_document
 
+    executor = None
+    if workers >= 2:
+        from repro.parallel.executor import ParallelExecutor
+
+        executor = ParallelExecutor(workers)
     factor = max(n, 1) / 500
     document = xmark_document(factor, seed=7)
     twigs = [
@@ -203,7 +221,9 @@ def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None,
     ]
     names = ([twig_algorithm] if twig_algorithm
              else available_twig_algorithms())
-    print(f"twig suite (XMark factor {factor:g}, {document.size()} nodes):")
+    pool = f", {workers}-worker pool" if executor is not None else ""
+    print(f"twig suite (XMark factor {factor:g}, "
+          f"{document.size()} nodes{pool}):")
     for label, pattern in twigs:
         twig = parse_twig(pattern)
         planned = choose_twig_algorithm(document, twig)
@@ -216,7 +236,10 @@ def cmd_bench_twig(n: int = 150, twig_algorithm: str | None = None,
                 print(f"    {name:<12} (unsupported)")
                 continue
             start = time.perf_counter()
-            result = algorithm.run(document, twig)
+            if executor is not None:
+                result = executor.run_twig(document, twig, name)
+            else:
+                result = algorithm.run(document, twig)
             ms = (time.perf_counter() - start) * 1e3
             if reference is None:
                 reference = result
@@ -471,6 +494,44 @@ def cmd_bench_planner(n: int = 4096, records: list | None = None) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench_accel(n: int = 4, workers: int = 0,
+                    records: list | None = None) -> int:
+    """Race the relational XPath-accelerator backend against TJFast and
+    TwigStack (shared with ``benchmarks/bench_accel.py`` through
+    :mod:`repro.xml.bench`) on an XMark factor-*n* document and the
+    streamed ``xmark-stream`` corpus queried from its mmap arena. Row
+    parity across every matcher (and, with ``--workers``, between the
+    serial and partition-parallel accelerator runs) is fatal; speedups
+    are reported — which side wins depends on how selective the twig's
+    value predicates are."""
+    from repro.xml.bench import stream_scenario, xmark_scenario
+
+    factor = float(max(n, 1))
+    failures = 0
+    scenarios = (xmark_scenario(factor, workers=workers),
+                 stream_scenario(factor, workers=workers))
+    pool = (f"; accel also partition-parallel on {workers} workers"
+            if workers >= 2 else "")
+    print("accel suite: relational accelerator vs holistic matchers "
+          f"(parity fatal, speedups reported{pool})")
+    for result in scenarios:
+        print(f"  {result.title}:")
+        for timing in result.timings:
+            print(f"    {timing.label:<22} {timing.rival:<12} "
+                  f"{timing.rival_ms:8.2f}ms   accel "
+                  f"{timing.accel_ms:8.2f}ms   speedup "
+                  f"{timing.speedup:5.2f}x")
+            if records is not None:
+                _record(records, result.title,
+                        f"{timing.label} vs {timing.rival}",
+                        timing.accel_ms, timing.speedup)
+        if not result.consistent:
+            print(f"error: {result.title}: a matcher diverged from the "
+                  "accelerator's rows", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 def cmd_explain(spec: str = "skewed", workers: int = 0) -> int:
     """Print the adaptive plan for *spec* with estimated vs observed
     per-stage cardinalities (from one instrumented execution), and note
@@ -678,11 +739,14 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     command = args[0] if args else "figure1"
     if workers and not (command in ("selftest", "serve", "explain")
-                        or (command == "bench" and suite == "parallel")):
+                        or (command == "bench"
+                            and suite in ("parallel", "twig", "accel"))):
         # Never let --workers be parsed and then silently ignored: only
-        # the parallel bench suite, selftest, serve and explain use it.
-        print("error: --workers applies to 'bench --suite parallel', "
-              "'selftest', 'serve' and 'explain' only", file=sys.stderr)
+        # the parallel/twig/accel bench suites, selftest, serve and
+        # explain use it.
+        print("error: --workers applies to 'bench --suite "
+              "parallel/twig/accel', 'selftest', 'serve' and 'explain' "
+              "only", file=sys.stderr)
         return 2
     if emit_json and command != "bench":
         print("error: --json applies to 'bench' only", file=sys.stderr)
@@ -702,7 +766,7 @@ def main(argv: list[str] | None = None) -> int:
                                twig_algorithm)
         if command == "bench":
             suites = ("engine", "twig", "updates", "parallel", "buffers",
-                      "service", "planner", "corpus")
+                      "service", "planner", "corpus", "accel")
             if suite not in (None,) + suites:
                 print(f"error: unknown bench suite {suite!r}; choose from "
                       f"{list(suites)!r}", file=sys.stderr)
@@ -731,9 +795,12 @@ def main(argv: list[str] | None = None) -> int:
             elif suite == "corpus":
                 rc = cmd_bench_corpus(_int_argument(command, args, 8000),
                                       records)
+            elif suite == "accel":
+                rc = cmd_bench_accel(_int_argument(command, args, 4),
+                                     workers, records)
             elif suite == "twig":
                 rc = cmd_bench_twig(_int_argument(command, args, 150),
-                                    twig_algorithm, records)
+                                    twig_algorithm, records, workers)
             else:
                 rc = cmd_bench(_int_argument(command, args, 150),
                                twig_algorithm, records)

@@ -60,6 +60,44 @@ class TwigDecomposition:
         return tuple(p for p in self.paths if name in p.attributes)
 
 
+@dataclass(frozen=True)
+class EdgeAtom:
+    """One twig edge viewed as a binary relational atom.
+
+    The accelerator backend's alternative to the root-leaf path
+    decomposition above: instead of cutting A-D edges and enumerating
+    P-C paths, *every* edge — either axis — becomes one binary atom
+    ``E_parent_child(parent, child)`` over the region labels, with the
+    axis kept as a range predicate (materialised by
+    :func:`repro.xml.accel.edge_relation`). The twig is then exactly a
+    tree-shaped conjunctive query: each non-root node appears in one
+    atom as the child, so joining the atoms on the shared node
+    variables yields precisely the embeddings.
+    """
+
+    name: str
+    parent: TwigNode
+    child: TwigNode
+
+    @property
+    def axis(self) -> Axis:
+        return self.child.axis
+
+    @property
+    def attributes(self) -> tuple[str, str]:
+        return (self.parent.name, self.child.name)
+
+    def __repr__(self) -> str:
+        return (f"EdgeAtom({self.name}({self.parent.name}, "
+                f"{self.axis}{self.child.name}))")
+
+
+def edge_atoms(twig: TwigQuery) -> tuple[EdgeAtom, ...]:
+    """The accelerator's edge-atom decomposition of *twig* (pre-order)."""
+    return tuple(EdgeAtom(f"E_{parent.name}_{child.name}", parent, child)
+                 for parent, child in twig.edges())
+
+
 def subtwig_root_nodes(twig: TwigQuery) -> list[TwigNode]:
     """Step 1: the roots of the sub-twigs obtained by cutting A-D edges.
 

@@ -371,6 +371,11 @@ def choose_twig_algorithm(document: "XMLDocument",
     """Pick a twig matcher from the twig's shape and the document stats.
 
     * linear paths → ``pathstack`` (one sweep, optimal for both axes);
+    * branching with two or more value predicates → ``accel`` (the
+      relational accelerator: selective predicates shrink the candidate
+      streams before the edge relations are built, and the worst-case
+      optimal kernel joins the small per-edge pair lists without the
+      holistic matchers' full-stream scans);
     * branching with any parent-child edge → ``tjfast`` (TwigStack loses
       optimality on P-C edges; TJFast's per-path matching does not);
     * A-D-only branching → ``tjfast`` when the leaf streams are the
@@ -378,13 +383,15 @@ def choose_twig_algorithm(document: "XMLDocument",
       ``twigstack`` (holistic-optimal, no path decoding at all).
 
     See ``docs/twig_algorithms.md`` for the optimality table behind the
-    rule.
+    rule and ``docs/accelerator.md`` for the accelerator's lowering.
     """
     from repro.xml.columnar import document_stats
     from repro.xml.interface import get_twig_algorithm
 
     if get_twig_algorithm("pathstack").supports(twig):  # linear path
         return "pathstack"
+    if sum(1 for q in twig.nodes() if q.predicate is not None) >= 2:
+        return "accel"
     if twig.pc_edges():
         return "tjfast"
     stats = document_stats(document)

@@ -200,6 +200,16 @@ class ParallelExecutor:
             algorithm = choose_twig_algorithm(document, twig)
         matcher = get_twig_algorithm(algorithm)
         base = columnar(document)
+        if algorithm == "accel":
+            # The accelerator compiles the twig to a purely relational
+            # instance, so it rides the *join* partitioner instead of
+            # the root-posting slicing below: the instance's top-level
+            # attribute is the twig root and code order == start-label
+            # order, so the join slicer's top-level code ranges are
+            # exactly the root tag's pre-ranges. The compiled instance
+            # carries no query or documents, which is what lets every
+            # join transport — fork, pickle, shm, mmap — ship it.
+            return self._run_twig_accel(base, twig, name=name, stats=stats)
         posting = base.stream(twig.nodes()[0])
         count = choose_morsel_count(self.workers, len(posting.nids),
                                     morsel_factor=self.morsel_factor)
@@ -275,6 +285,27 @@ class ParallelExecutor:
             rows.extend(slice_rows)
         stats.stop_timer()
         return Relation(name or twig.name, Schema(twig.attributes), rows)
+
+    def _run_twig_accel(self, view, twig: "TwigQuery", *,
+                        name: str | None,
+                        stats: JoinStats) -> Relation:
+        """Partition-parallel accelerator run: lower once, join in morsels.
+
+        The twig is lowered and encoded once in the parent (the same
+        build the serial path performs), handed to :meth:`run_join` —
+        which slices the root attribute's code range across the pool —
+        and the emitted pre-label rows are decoded back to the twig's
+        value tuples here. ``workers <= 1`` degrades inside
+        :meth:`run_join` to the serial kernel call.
+        """
+        from repro.xml.accel import ACCEL_KERNEL, compile_twig, project_starts
+
+        instance = compile_twig(view, twig, name=name or twig.name,
+                                stats=stats)
+        if instance.has_empty_input():
+            return Relation(name or twig.name, Schema(twig.attributes), [])
+        result = self.run_join(instance, ACCEL_KERNEL, stats=stats)
+        return project_starts(view, twig, result.rows, name=name)
 
     # -- whole queries -----------------------------------------------------
 

@@ -285,8 +285,9 @@ class ReproService:
 
     def _plan_for(self, query: MultiModelQuery, batches: int,
                   algorithm: "str | None",
-                  order: "str | tuple | None") -> tuple[str, tuple]:
-        """(algorithm, order) via the shared plan cache.
+                  order: "str | tuple | None"
+                  ) -> tuple[str, tuple, tuple]:
+        """(algorithm, order, twig algorithms) via the shared plan cache.
 
         Keyed by (corpus, batch count, stats epoch, overrides): any two
         sessions at the same batch count hold identical logical state,
@@ -311,7 +312,11 @@ class ReproService:
             plan = self.adaptive.plan(query)
         else:
             plan = plan_query(query, algorithm=algorithm, order=order)
-        resolved = (plan.algorithm, plan.order)
+        # The twig matchers travel with the cached plan so a hit also
+        # skips choose_twig_algorithm's per-twig stats reads (and the
+        # response can report which backend — e.g. ``accel`` — served
+        # each twig input without replanning).
+        resolved = (plan.algorithm, plan.order, plan.twig_algorithms)
         self.plan_cache.put(key, resolved)
         return resolved
 
@@ -343,7 +348,8 @@ class ReproService:
         query = snapshot.query()
         adaptive_run = (self.adaptive is not None and algorithm is None
                         and order is None)
-        algorithm, order = self._plan_for(query, batches, algorithm, order)
+        algorithm, order, twigs = self._plan_for(query, batches, algorithm,
+                                                 order)
         stats = JoinStats() if adaptive_run else None
         if self._query_cost(query) >= self.offload_threshold:
             self.offloaded_queries += 1
@@ -363,7 +369,7 @@ class ReproService:
                 "attributes": list(relation.schema.attributes),
                 "version": snapshot.version, "batches": batches,
                 "mode": "run", "algorithm": algorithm,
-                "offloaded": offloaded}
+                "twigs": dict(twigs), "offloaded": offloaded}
 
     def _evaluate_live(self, state: SessionState,
                        message: dict[str, Any]) -> dict[str, Any]:

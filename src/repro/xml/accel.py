@@ -1,0 +1,273 @@
+"""The relational XPath-accelerator twig backend (``accel``).
+
+This module lowers any :class:`~repro.xml.twig.TwigQuery` to ordinary
+relations over the columnar region labels and evaluates the result with
+the registered relational kernels — the DMR-XPath direction: the XML
+side of the library becomes just another client of the dictionary-
+encoded engine.
+
+**Node relations.** Every tag of a
+:class:`~repro.xml.columnar.ColumnarDocument` induces a relation
+
+    ``N_tag(pre, post, level, value)``
+
+read zero-copy from the per-tag postings (``tag_starts``/``tag_ends``)
+and the ``levels``/``values`` columns. ``pre`` (the start label)
+identifies a node uniquely, so it doubles as the node's key.
+
+**Axis lowering.** The axes are range predicates over those columns
+(region encoding, ancestor iff containment):
+
+* ``a // d``  ⇔  ``a.pre < d.pre  ∧  d.post < a.post``
+* ``a / c``   ⇔  the above  ∧  ``c.level = a.level + 1``
+
+**Edge relations.** Rather than handing the kernels inequality
+predicates they cannot bind, each twig edge's range predicate is
+materialised as a binary relation ``E_parent_child(parent, child)`` of
+``(pre, pre)`` pairs, enumerated by one stack-based merge over the two
+postings in document order — O(|parent posting| + |child posting| +
+output), the classic stack-tree structural join. The twig then *is* a
+conjunctive query: one binary atom per edge, joined on the shared
+node variables, evaluated by ``generic_join`` (or any registered
+kernel) through the normal :class:`~repro.engine.encoded.EncodedInstance`
+path. Because every non-root query node appears in exactly one edge
+atom as the child and candidate streams carry the tag + value
+predicates, the CQ's solutions are exactly the twig's embeddings.
+
+The backend registers as the ``accel`` :class:`~repro.xml.interface.
+TwigAlgorithm` (see :mod:`repro.xml.algorithms`), so it flows through
+the planner, the ``--twig-algorithm`` override, the parity suites and
+the update oracle unchanged. Delta maintenance is inherited: the
+postings *are* the node relations, and the update layer
+(:mod:`repro.updates.documents`) patches them in place, so ``accel``
+sees every edit the moment the refreshed view is installed. Under the
+parallel executor an ``accel`` twig rides the *join* partitioner — the
+compiled instance is sliced on the root attribute's code range, which
+is the root tag's pre-range — instead of the bespoke root-posting
+slicing of the navigational matchers; see
+:meth:`repro.parallel.executor.ParallelExecutor.run_twig`.
+
+``docs/accelerator.md`` documents the schema, the lowering rules and
+the planner's selection rule.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING
+
+from repro.instrumentation import JoinStats, ensure_stats
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.xml.columnar import ColumnarDocument, TagPosting, columnar
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+if TYPE_CHECKING:
+    from repro.engine.encoded import EncodedInstance
+    from repro.xml.model import XMLDocument, XMLNode
+
+#: The relational kernel the accelerator hands its conjunctive plan to.
+#: Any registered :class:`~repro.engine.interface.JoinAlgorithm` that
+#: evaluates purely relational instances works (``leapfrog`` included);
+#: hashed generic join is the library's default for relational inputs.
+ACCEL_KERNEL = "generic_join"
+
+#: Attribute names of one per-tag node relation (see :func:`node_relation`).
+NODE_SCHEMA = ("pre", "post", "level", "value")
+
+
+def node_relation(view: ColumnarDocument, tag: str, *,
+                  name: str | None = None) -> Relation:
+    """The accelerator's node relation ``N_tag(pre, post, level, value)``.
+
+    Rows are read straight from the tag's posting and the shared
+    ``levels``/``values`` columns — no node objects are touched. The
+    edge relations of :func:`lower_twig` are selections/joins over
+    these; this explicit form exists for the property tests, the docs
+    and any external (e.g. SQL) backend that wants the raw schema.
+    """
+    nids, starts, ends = view.postings(tag)
+    levels, values = view.levels, view.values
+    rows = [(starts[i], ends[i], levels[nid], values[nid])
+            for i, nid in enumerate(nids)]
+    return Relation(name or f"N_{tag}", NODE_SCHEMA, rows)
+
+
+def axis_pairs(upper: TagPosting, lower: TagPosting,
+               levels, lower_axis: Axis,
+               stats: JoinStats | None = None) -> list[tuple[int, int]]:
+    """All ``(pre_upper, pre_lower)`` pairs satisfying the axis predicate.
+
+    One merge over both postings in document order: upper candidates
+    push onto a stack of currently-open regions (strictly increasing
+    levels — the open-ancestor chain restricted to the upper tag);
+    regions that closed before the lower candidate pop off. Every
+    surviving stack entry contains the lower candidate (proper nesting:
+    ``pre_u < pre_l ≤ post_u`` forces full containment), which is
+    exactly the DESCENDANT range predicate; CHILD additionally selects
+    the unique entry at ``level_l - 1`` by binary search on the stack's
+    sorted levels. The strict ``pre_u < pre_l`` push bound keeps a node
+    from pairing with itself when both query nodes share a tag.
+    """
+    stats = ensure_stats(stats)
+    a_nids, a_starts, a_ends = upper.nids, upper.starts, upper.ends
+    b_nids, b_starts = lower.nids, lower.starts
+    pairs: list[tuple[int, int]] = []
+    stack_starts: list[int] = []
+    stack_ends: list[int] = []
+    stack_levels: list[int] = []
+    child = lower_axis is Axis.CHILD
+    i, n = 0, len(a_starts)
+    comparisons = 0
+    for j in range(len(b_starts)):
+        sb = b_starts[j]
+        while i < n and a_starts[i] < sb:
+            sa = a_starts[i]
+            while stack_ends and stack_ends[-1] < sa:
+                stack_starts.pop()
+                stack_ends.pop()
+                stack_levels.pop()
+                comparisons += 1
+            stack_starts.append(sa)
+            stack_ends.append(a_ends[i])
+            stack_levels.append(levels[a_nids[i]])
+            comparisons += 1
+            i += 1
+        while stack_ends and stack_ends[-1] < sb:
+            stack_starts.pop()
+            stack_ends.pop()
+            stack_levels.pop()
+            comparisons += 1
+        comparisons += 1
+        if not stack_starts:
+            continue
+        if child:
+            want = levels[b_nids[j]] - 1
+            k = bisect_left(stack_levels, want)
+            if k < len(stack_levels) and stack_levels[k] == want:
+                pairs.append((stack_starts[k], sb))
+        else:
+            pairs.extend((sa, sb) for sa in stack_starts)
+    stats.count_comparisons(comparisons)
+    return pairs
+
+
+def edge_relation(view: ColumnarDocument, parent: TwigNode,
+                  child: TwigNode, *,
+                  stats: JoinStats | None = None) -> Relation:
+    """One twig edge as a binary relation of ``(pre, pre)`` pairs.
+
+    The materialised form of the axis range predicate between the two
+    node relations, restricted to the candidate streams (tag + value
+    predicate already applied by :meth:`ColumnarDocument.stream`).
+    """
+    pairs = axis_pairs(view.stream(parent), view.stream(child),
+                       view.levels, child.axis, stats)
+    return Relation(f"E_{parent.name}_{child.name}",
+                    (parent.name, child.name), pairs)
+
+
+def lower_twig(view: ColumnarDocument, twig: TwigQuery, *,
+               stats: JoinStats | None = None) -> list[Relation]:
+    """Lower *twig* to its conjunctive-query atoms (one per edge).
+
+    A single-node twig has no edges and lowers to one unary relation of
+    the root's candidate pre labels. Each edge relation's size is
+    recorded as a stage — the accelerator's per-edge pair lists are its
+    intermediate results, the quantity the paper's evaluation tracks.
+    """
+    from repro.core.decomposition import edge_atoms
+
+    stats = ensure_stats(stats)
+    atoms = edge_atoms(twig)
+    if not atoms:
+        root = twig.root
+        posting = view.stream(root)
+        relation = Relation(f"E_{root.name}", (root.name,),
+                            [(start,) for start in posting.starts])
+        stats.record_stage(f"nodes {root.name}", len(relation))
+        return [relation]
+    relations = []
+    for atom in atoms:
+        pairs = axis_pairs(view.stream(atom.parent), view.stream(atom.child),
+                           view.levels, atom.axis, stats)
+        relation = Relation(atom.name, atom.attributes, pairs)
+        stats.record_stage(
+            f"edge {atom.parent.name}{atom.axis}{atom.child.name}",
+            len(relation))
+        relations.append(relation)
+    return relations
+
+
+def compile_twig(view: ColumnarDocument, twig: TwigQuery, *,
+                 name: str | None = None,
+                 stats: JoinStats | None = None) -> "EncodedInstance":
+    """Compile *twig* into an encoded relational instance.
+
+    The instance's attribute order is the twig's pre-order attribute
+    tuple, so its first (top-level) attribute is the twig root — which
+    is what lets the parallel executor partition an accel run on the
+    root tag's pre-range through the ordinary join slicer. The returned
+    instance carries no query object or documents, so every join
+    transport (fork, pickle, shm, mmap) can ship it.
+    """
+    from repro.engine.encoded import EncodedInstance
+
+    stats = ensure_stats(stats)
+    with stats.phase("lower"):
+        relations = lower_twig(view, twig, stats=stats)
+    with stats.phase("encode"):
+        return EncodedInstance.from_relations(relations, twig.attributes,
+                                              name=name or twig.name)
+
+
+def accel_starts(view: ColumnarDocument, twig: TwigQuery, *,
+                 name: str | None = None,
+                 stats: JoinStats | None = None):
+    """All embeddings of *twig* as rows of pre labels over its attributes."""
+    stats = ensure_stats(stats)
+    instance = compile_twig(view, twig, name=name, stats=stats)
+    if instance.has_empty_input():
+        return frozenset()
+    from repro.engine.interface import get_algorithm
+
+    return get_algorithm(ACCEL_KERNEL).run(instance, stats=stats).rows
+
+
+def project_starts(view: ColumnarDocument, twig: TwigQuery,
+                   start_rows, *, name: str | None = None) -> Relation:
+    """Decode pre-label rows into the twig's value-tuple answer."""
+    values, index = view.values, view.nid_index
+    rows = {tuple(values[index[start]] for start in row)
+            for row in start_rows}
+    return Relation(name or twig.name, Schema(twig.attributes), rows)
+
+
+class AccelTwigAlgorithm:
+    """Twig matching compiled to relations over the region labels."""
+
+    name = "accel"
+    optimal_for = ("selective value predicates (WCOJ over per-edge "
+                   "candidate pairs); anything a relational kernel runs")
+    #: The kernel the conjunctive plan executes on.
+    kernel = ACCEL_KERNEL
+
+    def supports(self, twig: TwigQuery) -> bool:
+        return True
+
+    def embeddings(self, document: "XMLDocument", twig: TwigQuery, *,
+                   stats: JoinStats | None = None
+                   ) -> "list[dict[str, XMLNode]]":
+        view = columnar(document)
+        names = twig.attributes
+        nodes, index = view.nodes, view.nid_index
+        return [{attr: nodes[index[start]]
+                 for attr, start in zip(names, row)}
+                for row in accel_starts(view, twig, stats=stats)]
+
+    def run(self, document: "XMLDocument", twig: TwigQuery, *,
+            name: str | None = None,
+            stats: JoinStats | None = None) -> Relation:
+        view = columnar(document)
+        rows = accel_starts(view, twig, name=name, stats=stats)
+        return project_starts(view, twig, rows, name=name)

@@ -12,6 +12,9 @@ All matcher families run on the shared columnar document layer
   branching twigs via :meth:`supports`);
 * ``structural`` — the pre-holistic pipeline of binary structural joins,
   kept as the foil with materialised per-edge pair lists;
+* ``accel`` — the relational XPath accelerator: the twig lowered to
+  edge relations over the region labels and evaluated by the encoded
+  engine's join kernels (:mod:`repro.xml.accel`);
 * ``naive`` — brute-force navigation, the correctness oracle.
 
 ``match_twig`` is the planned entry point: it asks the engine planner
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 from repro.instrumentation import JoinStats
 from repro.relational.relation import Relation
+from repro.xml.accel import AccelTwigAlgorithm
 from repro.xml.interface import (
     get_twig_algorithm,
     register_twig_algorithm,
@@ -149,6 +153,7 @@ TJFAST = register_twig_algorithm(TJFastAlgorithm())
 PATHSTACK = register_twig_algorithm(PathStackAlgorithm())
 STRUCTURAL = register_twig_algorithm(StructuralJoinAlgorithm())
 NAIVE = register_twig_algorithm(NaiveNavigationAlgorithm())
+ACCEL = register_twig_algorithm(AccelTwigAlgorithm())
 
 
 def match_twig(document: XMLDocument, twig: TwigQuery, *,

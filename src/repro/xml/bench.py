@@ -1,0 +1,175 @@
+"""Accelerator benchmark scenarios (shared CLI / pytest harness).
+
+Races the relational XPath-accelerator backend (``accel``,
+:mod:`repro.xml.accel`) against the holistic twig matchers it
+complements — TJFast and TwigStack — on two corpora:
+
+* an in-memory XMark document at scale factor 4
+  (:func:`repro.xml.xmark.xmark_document`), and
+* the streamed ``xmark-stream`` corpus: the same shape built through
+  the SAX-streaming builder into a file-backed mmap arena and queried
+  *attached* (:func:`repro.xml.arenaview.attach_arena_document`) — the
+  accelerator lowers twigs from the arena view's zero-copy columns
+  exactly as from an in-memory view.
+
+Row parity between every matcher is **fatal** (the differential
+harness in ``tests/xml/test_accel_oracle.py`` is the fine-grained
+oracle; the bench re-checks it at benchmark scale). Speedups are
+*reported*, not gated: which side wins depends on the twig — the
+accelerator's edge relations pay off when value predicates shrink the
+candidate streams, and the bench includes both predicate-heavy and
+predicate-free twigs so the trade-off is visible in the numbers.
+
+With ``workers >= 2`` each scenario also times the accelerator under
+the partition-parallel executor (the compiled instance sliced on the
+root tag's pre-range), asserting parity with the serial rows.
+
+Consumed by ``benchmarks/bench_accel.py`` and
+``python -m repro bench --suite accel``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+from repro.xml.twig import TwigNode, TwigQuery
+
+#: The rival matchers the accelerator races (both support every twig).
+RIVALS = ("tjfast", "twigstack")
+
+#: Best-of repeats per timed run (min swallows scheduler noise).
+REPEATS = 3
+
+
+def _best_of(fn: Callable[[], Relation],
+             repeats: int = REPEATS) -> tuple[Relation, float]:
+    """(result, best milliseconds) over *repeats* runs of *fn*."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, (time.perf_counter() - start) * 1e3)
+    assert result is not None
+    return result, best
+
+
+@dataclass(frozen=True)
+class AccelTiming:
+    """One accel-vs-rival (or serial-vs-parallel) measurement."""
+
+    label: str
+    rival: str
+    rival_ms: float
+    accel_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster accel ran than the rival (>1 = accel wins)."""
+        return self.rival_ms / max(self.accel_ms, 1e-9)
+
+
+@dataclass(frozen=True)
+class AccelScenarioResult:
+    """One corpus raced across all bench twigs."""
+
+    title: str
+    timings: tuple[AccelTiming, ...]
+    #: Every matcher (and the parallel run) produced identical rows.
+    consistent: bool
+
+
+def bench_twigs() -> list[tuple[str, TwigQuery]]:
+    """The bench twig set: branching, both axes, with and without
+    value predicates (predicates are where the planner picks accel)."""
+    from repro.xml.twig_parser import parse_twig
+
+    twigs = [
+        ("auction bidders",
+         parse_twig("oa=open_auction(/ir=itemref, //pr=personref)")),
+        ("person interests",
+         parse_twig("p=person(/nm=name, //i=interest)")),
+        ("bid chain",
+         parse_twig("oa=open_auction(//bd=bidder(/pr=personref))")),
+    ]
+    # High bids by low-numbered bidders: two value predicates on one
+    # branching twig — the choose_twig_algorithm shape that routes to
+    # the accelerator (selective streams -> small edge relations).
+    root = TwigNode("oa", tag="open_auction")
+    bidder = root.descendant("bd", tag="bidder")
+    bidder.child("inc", tag="increase",
+                 predicate=lambda v: isinstance(v, int) and v > 25)
+    bidder.child("pr", tag="personref",
+                 predicate=lambda v: isinstance(v, int) and v < 10)
+    twigs.append(("high bids, low ids", TwigQuery(root)))
+    return twigs
+
+
+def _race(document, title: str, *, workers: int = 0,
+          repeats: int = REPEATS) -> AccelScenarioResult:
+    """Race accel against :data:`RIVALS` (and itself in parallel)."""
+    from repro.xml.interface import get_twig_algorithm
+
+    accel = get_twig_algorithm("accel")
+    timings: list[AccelTiming] = []
+    consistent = True
+    for label, twig in bench_twigs():
+        reference, accel_ms = _best_of(
+            lambda: accel.run(document, twig), repeats)
+        for rival_name in RIVALS:
+            rival = get_twig_algorithm(rival_name)
+            answer, rival_ms = _best_of(
+                lambda: rival.run(document, twig), repeats)
+            if answer != reference:
+                consistent = False
+            timings.append(AccelTiming(label, rival_name,
+                                       rival_ms, accel_ms))
+        if workers >= 2:
+            from repro.parallel.executor import ParallelExecutor
+
+            executor = ParallelExecutor(workers)
+            answer, parallel_ms = _best_of(
+                lambda: executor.run_twig(document, twig, "accel"),
+                repeats)
+            if answer != reference:
+                consistent = False
+            timings.append(AccelTiming(label, f"accel x{workers}",
+                                       accel_ms, parallel_ms))
+    return AccelScenarioResult(title=title, timings=tuple(timings),
+                               consistent=consistent)
+
+
+def xmark_scenario(factor: float = 4.0, *, seed: int = 7,
+                   workers: int = 0,
+                   repeats: int = REPEATS) -> AccelScenarioResult:
+    """The in-memory corpus: XMark at *factor* (default 4)."""
+    from repro.xml.xmark import xmark_document
+
+    document = xmark_document(factor, seed=seed)
+    return _race(document,
+                 f"XMark factor {factor:g} ({document.size()} nodes)",
+                 workers=workers, repeats=repeats)
+
+
+def stream_scenario(factor: float = 4.0, *, seed: int = 0,
+                    workers: int = 0,
+                    repeats: int = REPEATS) -> AccelScenarioResult:
+    """The streamed corpus: ``xmark-stream`` built into a file arena
+    and queried attached (accel lowers from the mmap-backed columns)."""
+    from repro.xml.arenaview import attach_arena_document
+    from repro.xml.streaming import stream_document
+    from repro.xml.xmark import xmark_stream_chunks
+
+    arena = stream_document(xmark_stream_chunks(factor, seed=seed))
+    try:
+        handle, view = attach_arena_document(arena)
+        return _race(handle,
+                     f"xmark-stream factor {factor:g} "
+                     f"({view.size} nodes, mmap arena)",
+                     workers=workers, repeats=repeats)
+    finally:
+        arena.close()
+        arena.unlink()

@@ -17,7 +17,7 @@ from repro.engine.encoded import EncodedInstance
 from repro.engine.interface import available_algorithms, get_algorithm
 from repro.engine.planner import attribute_order, plan_query, run_query
 from repro.errors import EngineError
-from repro.parallel.executor import ParallelExecutor
+from repro.parallel.executor import ParallelExecutor, available_transports
 from repro.parallel.morsels import fork_available
 from repro.relational.relation import Relation
 from repro.xml.interface import available_twig_algorithms, \
@@ -189,3 +189,40 @@ class TestTwigParity:
         serial_rows = get_twig_algorithm("tjfast").run(document, twig)
         parallel = executor("serial").run_twig(document, twig)
         assert parallel == serial_rows
+
+
+class TestAccelTransportParity:
+    """The accelerator rides the *join* partitioner (its compiled
+    instance carries no query or documents), so it is the one twig
+    matcher that must hold parity over every join transport — including
+    pickle/shm/mmap, which reject the navigational matchers' instances."""
+
+    @pytest.fixture(scope="class")
+    def document(self):
+        return xmark_document(1.0, seed=7)
+
+    @pytest.mark.parametrize("transport", available_transports())
+    @pytest.mark.parametrize("pattern", TWIG_PATTERNS)
+    def test_accel_every_transport(self, document, pattern, transport):
+        twig = parse_twig(pattern)
+        serial = get_twig_algorithm("accel").run(document, twig)
+        parallel = executor(transport).run_twig(document, twig, "accel")
+        assert parallel == serial, (pattern, transport)
+
+    @pytest.mark.parametrize("transport", available_transports())
+    def test_accel_predicate_twig_ships(self, document, transport):
+        """Value predicates (unpicklable lambdas) are applied while
+        lowering in the parent; the shipped instance is pure data, so
+        even the spawn transports run predicate twigs."""
+        from repro.xml.twig import TwigNode, TwigQuery
+
+        root = TwigNode("oa", tag="open_auction")
+        bidder = root.descendant("bd", tag="bidder")
+        bidder.child("inc", tag="increase",
+                     predicate=lambda v: isinstance(v, int) and v > 25)
+        bidder.child("pr", tag="personref",
+                     predicate=lambda v: isinstance(v, int) and v < 10)
+        twig = TwigQuery(root)
+        serial = get_twig_algorithm("accel").run(document, twig)
+        parallel = executor(transport).run_twig(document, twig, "accel")
+        assert parallel == serial, transport

@@ -186,6 +186,43 @@ def test_concurrent_readers_pin_staggered_snapshots(churn_threshold):
             session, f"mvcc trial={trial} post-release")
 
 
+@pytest.mark.parametrize("churn_threshold", [10.0, 0.0],
+                         ids=["patch", "rebuild"])
+def test_accel_tracks_update_stream(churn_threshold):
+    """Explicit accelerator enrollment in the update regimes.
+
+    The accelerator's node relations *are* the maintained postings, so
+    it inherits delta maintenance: after every patch (and after forced
+    rebuilds) its relational lowering over the live columnar view must
+    match a rebuilt-from-scratch clone — checked here directly on a
+    value-predicate twig (the planner's accel shape) on top of the full
+    every-backend check of :func:`assert_session_matches_oracle`."""
+    from repro.xml.twig import TwigNode, TwigQuery
+
+    rng = seeded_rng(f"accel-{churn_threshold}")
+    document = xmark_document(0.1, rng=rng)
+    root = TwigNode("oa", tag="open_auction")
+    bidder = root.descendant("bd", tag="bidder")
+    bidder.child("inc", tag="increase",
+                 predicate=lambda v: isinstance(v, int) and v > 20)
+    bidder.child("pr", tag="personref",
+                 predicate=lambda v: isinstance(v, int) and v < 30)
+    twig = TwigQuery(root, name="A")
+    query = MultiModelQuery([], [TwigBinding(twig, document)], name="A")
+    session = QuerySession(query, churn_threshold=churn_threshold)
+    accel = get_twig_algorithm("accel")
+    for step in range(8):
+        op = random_session_op(rng, session,
+                               tags=["bidder", "increase", "personref"])
+        note = (f"accel churn={churn_threshold} step={step} op={op} "
+                f"(REPRO_UPDATE_SEED={UPDATE_SEED})")
+        reference = match_relation(clone_document(document), twig)
+        live = accel.run(document, twig)
+        assert live.sorted_rows() == reference.sorted_rows(), \
+            f"accel diverged from the rebuilt clone at {note}"
+        assert_session_matches_oracle(session, note)
+
+
 def test_two_twigs_sharing_one_document():
     """One edit must refresh every twig bound to the same tree."""
     rng = seeded_rng("shared-doc")

@@ -1,0 +1,68 @@
+"""Shared machinery for the accelerator differential suites.
+
+The accelerator oracle is *seeded* the same way as the update oracle:
+every randomized test derives its generator from ``REPRO_ACCEL_SEED``
+(default a fixed constant, so plain ``pytest`` runs are reproducible;
+CI additionally runs the suite with a randomized seed). The active
+seed is echoed in the pytest header (``conftest.py``) and in every
+assertion message, so any failure names the seed that reproduces it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.xml.twig import Axis, TwigNode, TwigQuery
+
+#: The suite-wide base seed (override: REPRO_ACCEL_SEED=12345 pytest ...).
+ACCEL_SEED = int(os.environ.get("REPRO_ACCEL_SEED", "20260808"))
+
+#: XMark tags the random twig generator draws from.
+XMARK_TAGS = ["open_auction", "bidder", "personref", "itemref",
+              "increase", "person", "profile", "interest", "item",
+              "incategory", "current", "name"]
+
+#: The subset carrying integer text values (predicate targets).
+INT_TAGS = ["personref", "itemref", "increase", "incategory",
+            "interest", "current"]
+
+
+def seeded_rng(salt: object) -> random.Random:
+    """A generator derived from the suite seed and a per-site salt."""
+    return random.Random(f"{ACCEL_SEED}:{salt}")
+
+
+def int_predicate(rng: random.Random):
+    """A random integer threshold predicate (closed over its bound)."""
+    bound = rng.randint(1, 40)
+    if rng.random() < 0.5:
+        return lambda v: isinstance(v, int) and v >= bound
+    return lambda v: isinstance(v, int) and v < bound
+
+
+def random_accel_twig(rng: random.Random, *,
+                      axes=(Axis.CHILD, Axis.DESCENDANT),
+                      predicate_rate: float = 0.0) -> TwigQuery:
+    """A random twig over XMark tags, optionally with value predicates.
+
+    With ``predicate_rate > 0`` each node whose tag carries integer
+    values gets a threshold predicate with that probability — the shape
+    that routes the planner to the accelerator.
+    """
+    def maybe_predicate(tag: str):
+        if tag in INT_TAGS and rng.random() < predicate_rate:
+            return int_predicate(rng)
+        return None
+
+    tag = rng.choice(XMARK_TAGS)
+    root = TwigNode("n0", tag=tag, predicate=maybe_predicate(tag))
+    nodes = [root]
+    for index in range(rng.randint(1, 4)):
+        parent = rng.choice(nodes)
+        tag = rng.choice(XMARK_TAGS)
+        child = parent.add(f"n{index + 1}", tag=tag,
+                           axis=rng.choice(axes),
+                           predicate=maybe_predicate(tag))
+        nodes.append(child)
+    return TwigQuery(root)

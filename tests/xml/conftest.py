@@ -1,0 +1,10 @@
+"""Pytest wiring for the XML suites: echo the accelerator oracle seed."""
+
+from __future__ import annotations
+
+from accel_harness import ACCEL_SEED
+
+
+def pytest_report_header(config) -> str:
+    return (f"accel-oracle seed: {ACCEL_SEED} "
+            f"(reproduce with REPRO_ACCEL_SEED={ACCEL_SEED})")

@@ -71,7 +71,8 @@ def assert_all_algorithms_agree(document, twig):
 class TestRegistry:
     def test_builtins_registered(self):
         assert available_twig_algorithms() == [
-            "naive", "pathstack", "structural", "tjfast", "twigstack"]
+            "accel", "naive", "pathstack", "structural", "tjfast",
+            "twigstack"]
 
     def test_unknown_name_raises(self):
         from repro.errors import TwigError
